@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness binaries. Each binary
+ * regenerates one table or figure of the paper's evaluation, printing
+ * the same rows/series the paper reports.
+ *
+ * EXIST_BENCH_SCALE (env) scales tracing periods: 1.0 (default)
+ * matches the paper's settings; smaller values give quick smoke runs.
+ */
+#ifndef EXIST_BENCH_COMMON_H
+#define EXIST_BENCH_COMMON_H
+
+#include <cstdlib>
+#include <string>
+
+#include "analysis/report.h"
+#include "analysis/testbed.h"
+#include "util/types.h"
+
+namespace exist::bench {
+
+/** Period scale from the environment (for fast CI runs). */
+inline double
+periodScale()
+{
+    const char *env = std::getenv("EXIST_BENCH_SCALE");
+    if (env == nullptr)
+        return 1.0;
+    double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+}
+
+inline Cycles
+scaledSeconds(double s)
+{
+    return secondsToCycles(s * periodScale());
+}
+
+/** Build a single-target compute experiment on a small shared node. */
+inline ExperimentSpec
+computeSpec(const std::string &app, const std::string &backend,
+            double period_s = 0.3, int cores = 4)
+{
+    ExperimentSpec spec;
+    spec.node.num_cores = cores;
+    spec.workloads.push_back(WorkloadSpec{.app = app, .target = true});
+    spec.backend = backend;
+    spec.session.period = scaledSeconds(period_s);
+    spec.warmup = secondsToCycles(0.03);
+    return spec;
+}
+
+/** Build a closed-loop online-benchmark experiment (memtier/ab style:
+ *  ten concurrent clients, as in the paper's §5.1). */
+inline ExperimentSpec
+onlineSpec(const std::string &app, const std::string &backend,
+           int clients = 10, double period_s = 0.4, int cores = 4)
+{
+    ExperimentSpec spec;
+    spec.node.num_cores = cores;
+    spec.workloads.push_back(WorkloadSpec{
+        .app = app, .target = true, .closed_clients = clients});
+    spec.backend = backend;
+    spec.session.period = scaledSeconds(period_s);
+    spec.warmup = secondsToCycles(0.08);
+    return spec;
+}
+
+}  // namespace exist::bench
+
+#endif  // EXIST_BENCH_COMMON_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 3a (motivation): intra-service tracing overhead grows in
+ * shared execution environments, and tracing one application slows its
+ * innocent co-runner. A = om (620.omnetpp) is profiled; B = xz
+ * (657.xz) runs co-located without profiling. Three bar groups:
+ * exclusive A, shared A, shared B — for sampling (perf -F 4000) and
+ * hardware tracing (perf intel_pt).
+ */
+#include <cstdio>
+
+#include "common.h"
+
+using namespace exist;
+using namespace exist::bench;
+
+namespace {
+
+double
+slowdownShared(const char *backend, const char *measure_app,
+               bool shared)
+{
+    ExperimentSpec spec;
+    spec.node.num_cores = 2;
+    spec.workloads.push_back(WorkloadSpec{
+        .app = "om", .cores = {0, 1}, .target = true});
+    if (shared) {
+        WorkloadSpec b{.app = "xz", .cores = {0, 1}};
+        b.workers = 2;
+        spec.workloads.push_back(std::move(b));
+    }
+    spec.backend = backend;
+    spec.session.period = scaledSeconds(0.3);
+    spec.warmup = secondsToCycles(0.05);
+    auto cmp = Testbed::compare(spec);
+    return cmp.slowdownOf(measure_app) - 1.0;
+}
+
+}  // namespace
+
+int
+main()
+{
+    printBanner("Figure 3a: tracing overhead in shared scenarios");
+
+    TableWriter table({"Scenario", "Sampling(F=4000)", "Tracing(IPT)"});
+    table.row({"Exclusive Pod A w/ Profiling",
+               TableWriter::pct(slowdownShared("StaSam", "om", false)),
+               TableWriter::pct(slowdownShared("NHT", "om", false))});
+    table.row({"Shared Pod A w/ Profiling",
+               TableWriter::pct(slowdownShared("StaSam", "om", true)),
+               TableWriter::pct(slowdownShared("NHT", "om", true))});
+    table.row({"Shared Pod B w/o Profiling",
+               TableWriter::pct(slowdownShared("StaSam", "xz", true)),
+               TableWriter::pct(slowdownShared("NHT", "xz", true))});
+    table.print();
+    std::printf("\nPaper shape: overhead increases under sharing; the "
+                "co-located, un-profiled B is also slowed.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 3b (motivation): in a stressed environment, a seemingly
+ * tolerable ~2% single-service tracing overhead inflates end-to-end
+ * response times by far more, and worse at higher load. We trace the
+ * first service of a DeathStarBench-like ComposePost chain with
+ * statistical sampling and report the E2E response-time slowdown at
+ * the 50/75/90/99/99.9 percentiles across load levels.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+
+using namespace exist;
+using namespace exist::bench;
+
+namespace {
+
+ExperimentSpec
+chainSpec(double rps, const char *backend)
+{
+    ExperimentSpec spec;
+    spec.node.num_cores = 8;
+    // ComposePost-like chain: the traced frontend fans three RPCs into
+    // a store tier per request.
+    WorkloadSpec fe{.app = "Search1", .target = true, .load_rps = rps};
+    fe.downstream = "Cache";
+    fe.downstream_rpcs = 3;
+    fe.workers = 16;  // CPU-bound, not worker-bound: queueing theory
+                      // amplification needs utilization, not pool caps
+    WorkloadSpec store{.app = "Cache"};
+    store.workers = 16;
+    spec.workloads.push_back(std::move(fe));
+    spec.workloads.push_back(std::move(store));
+    spec.backend = backend;
+    spec.session.period = scaledSeconds(1.6);
+    spec.warmup = secondsToCycles(0.2);
+    return spec;
+}
+
+}  // namespace
+
+int
+main()
+{
+    printBanner("Figure 3b: E2E response-time slowdown under stress "
+                "(tracing one service with ~2-3% overhead)");
+
+    const std::vector<double> loads = {1000, 2000, 2600, 3000};
+    const std::vector<double> pcts = {50, 75, 90, 99, 99.9};
+
+    TableWriter table({"Load(rps)", "p50", "p75", "p90", "p99",
+                       "p99.9"});
+    for (double load : loads) {
+        auto cmp = Testbed::compare(chainSpec(load, "StaSam"));
+        std::vector<std::string> row = {TableWriter::num(load, 0)};
+        for (double p : pcts) {
+            double o =
+                cmp.oracle.at("Search1").latencies_us.percentile(p);
+            double t =
+                cmp.traced.at("Search1").latencies_us.percentile(p);
+            row.push_back(TableWriter::pct(o > 0 ? t / o - 1.0 : 0.0,
+                                           1));
+        }
+        table.row(std::move(row));
+    }
+    table.print();
+    std::printf("\nPaper shape: degradation grows with workload stress; "
+                "tail percentiles degrade far more than the median "
+                "(>10%% E2E from ~2%% single-service overhead under "
+                "high load).\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Figure 8: CDF of sched_switch periods on a realistic shared node —
+ * all context switches, grouped by core, and grouped by process. The
+ * paper's observation: most cores/threads switch in under 1 ms, so
+ * per-switch tracing control means ~1000x more MSR operations than a
+ * seconds-scale control period; a few processes switch much more
+ * rarely, so the all-switch CDF dominates the grouped ones.
+ */
+#include <cstdio>
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common.h"
+#include "os/kernel.h"
+#include "os/loadgen.h"
+#include "os/service.h"
+#include "util/stats.h"
+
+using namespace exist;
+using namespace exist::bench;
+
+int
+main()
+{
+    printBanner("Figure 8: CDF of context-switch periods (ms)");
+
+    // A shared node: two services under load plus compute co-runners.
+    NodeConfig nc;
+    nc.num_cores = 8;
+    nc.seed = 11;
+    Kernel kernel(nc);
+
+    std::vector<std::unique_ptr<Service>> services;
+    std::vector<std::unique_ptr<ClosedLoopLoadGen>> gens;
+    auto addService = [&](const char *app, int clients) {
+        auto bin = Testbed::binaryForApp(app);
+        Process *p = kernel.createProcess(app, bin, {});
+        services.push_back(std::make_unique<Service>(
+            &kernel, p, static_cast<std::uint64_t>(1000 + clients)));
+        services.back()->spawnWorkers(bin->profile().num_threads);
+        gens.push_back(std::make_unique<ClosedLoopLoadGen>(
+            &kernel, services.back().get(), clients,
+            static_cast<std::uint64_t>(77 + clients)));
+        gens.back()->start();
+    };
+    addService("mc", 8);
+    addService("ms", 6);
+    for (const char *app : {"om", "xz"}) {
+        Process *p =
+            kernel.createProcess(app, Testbed::binaryForApp(app), {});
+        for (int i = 0; i < p->profile().num_threads; ++i)
+            kernel.startThread(kernel.createThread(p, nullptr));
+    }
+
+    kernel.runFor(secondsToCycles(0.1));
+    kernel.armSwitchLog(kInvalidId);  // all pids
+    kernel.runFor(scaledSeconds(1.0));
+    std::vector<SwitchRecord> log = kernel.takeSwitchLog();
+    // Per-core execution cursors may append slightly out of global
+    // order; sort by timestamp like trace post-processing would.
+    std::sort(log.begin(), log.end(),
+              [](const SwitchRecord &a, const SwitchRecord &b) {
+                  return a.timestamp < b.timestamp;
+              });
+
+    // Periods between consecutive switch-in events: overall, per core,
+    // per process.
+    std::vector<double> all, by_core, by_proc;
+    std::uint64_t last_any = 0;
+    std::map<int, std::uint64_t> last_core, last_proc;
+    for (const SwitchRecord &r : log) {
+        if (r.op != 1)
+            continue;
+        if (last_any)
+            all.push_back(cyclesToMs(r.timestamp - last_any));
+        last_any = r.timestamp;
+        if (auto it = last_core.find(r.cpu); it != last_core.end())
+            by_core.push_back(cyclesToMs(r.timestamp - it->second));
+        last_core[r.cpu] = r.timestamp;
+        if (auto it = last_proc.find(r.pid); it != last_proc.end())
+            by_proc.push_back(cyclesToMs(r.timestamp - it->second));
+        last_proc[r.pid] = r.timestamp;
+    }
+
+    Cdf cdf_all(all), cdf_core(by_core), cdf_proc(by_proc);
+    TableWriter table({"Period(ms)", "AllSwitches", "ByCore",
+                       "ByProcess"});
+    for (double x : {0.01, 0.1, 0.5, 1.0, 10.0, 100.0}) {
+        table.row({TableWriter::num(x, 2),
+                   TableWriter::num(cdf_all.at(x), 3),
+                   TableWriter::num(cdf_core.at(x), 3),
+                   TableWriter::num(cdf_proc.at(x), 3)});
+    }
+    table.print();
+    std::printf("\nTotal switches: %zu; switch rate: %.0f /s\n",
+                log.size() / 2,
+                static_cast<double>(all.size()) / periodScale());
+    std::printf("Paper shape: most mass below 1 ms -> per-switch MSR "
+                "control is ~1000x a seconds-scale control period; the "
+                "all-switch CDF lies above the grouped ones.\n");
+    return 0;
+}

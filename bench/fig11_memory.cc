@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 11 (motivation for UMA): host memory allocation vs actual
+ * utilization over time on a typical server. Pods reserve memory near
+ * the node's ceiling while average utilization stays low — the slack
+ * EXIST's trace buffers must fit into (0.5-1 GB facility budget), and
+ * the reason buffers must be allocated carefully rather than maximally
+ * (128 cores x 128 MB = 16 GB would be wasted).
+ */
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+#include "util/rng.h"
+
+using namespace exist;
+using namespace exist::bench;
+
+int
+main()
+{
+    printBanner("Figure 11: host memory allocation vs utilization "
+                "over time");
+
+    // A 384 GB node running a mix of pods; each pod reserves its limit
+    // up front (allocation) but touches a workload-dependent fraction
+    // (utilization), fluctuating with diurnal-ish load.
+    const double capacity_gb = 384.0;
+    struct PodMem {
+        const char *app;
+        double reserved_gb;
+        double base_util;  ///< fraction of the reservation touched
+    };
+    std::vector<PodMem> pods = {
+        {"Search1", 96, 0.55}, {"Search2", 96, 0.50},
+        {"Cache", 120, 0.70},  {"Pred", 48, 0.45},
+        {"Agent", 4, 0.30},
+    };
+
+    double reserved = 0;
+    for (const PodMem &p : pods)
+        reserved += p.reserved_gb;
+
+    Rng rng(2024);
+    TableWriter table({"t(x10min)", "Alloc(%)", "UtilAvg(%)",
+                       "UtilMax(%)"});
+    double util_peak_overall = 0;
+    for (int t = 0; t < 24; ++t) {
+        // Load wave over the day plus noise.
+        double wave =
+            0.5 + 0.35 * std::sin(2 * 3.14159 * t / 24.0 + 1.0);
+        double util_avg = 0, util_max = 0;
+        for (const PodMem &p : pods) {
+            double u =
+                p.reserved_gb *
+                std::min(1.0, p.base_util * (0.7 + 0.6 * wave) +
+                                  rng.uniform(-0.03, 0.03));
+            util_avg += u;
+            util_max += p.reserved_gb *
+                        std::min(1.0, p.base_util *
+                                          (0.7 + 0.6 * wave) + 0.08);
+        }
+        util_peak_overall = std::max(util_peak_overall, util_max);
+        table.row({std::to_string(t),
+                   TableWriter::num(100 * reserved / capacity_gb, 1),
+                   TableWriter::num(100 * util_avg / capacity_gb, 1),
+                   TableWriter::num(100 * util_max / capacity_gb, 1)});
+    }
+    table.print();
+    std::printf("\nAllocation sits near the ceiling (%.0f%%) while "
+                "utilization stays well below it — the facility's "
+                "0.5-1 GB trace budget must be placed in that gap, "
+                "per-core and usage-aware (paper Fig. 11, §3.3).\n",
+                100 * reserved / capacity_gb);
+    return 0;
+}

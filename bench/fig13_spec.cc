@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 13: normalized execution slowdown of the ten SPEC CPU 2017
+ * Integer stand-ins under EXIST, StaSam, eBPF and NHT, plus the average
+ * and EXIST's improvement factors over each baseline. Closer to Oracle
+ * (1.0) is better; the paper reports EXIST in 0.4-1.5% with 3.5x/4.4x/
+ * 6.6x average improvements.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+
+using namespace exist;
+using namespace exist::bench;
+
+int
+main()
+{
+    printBanner("Figure 13: normalized slowdown on SPEC-like compute "
+                "benchmarks");
+
+    const std::vector<std::string> apps = {"pb", "gcc", "mcf", "om",
+                                           "xa", "x264", "de", "le",
+                                           "ex", "xz"};
+    const std::vector<std::string> schemes = {"EXIST", "StaSam", "eBPF",
+                                              "NHT"};
+
+    TableWriter table({"App", "Oracle", "EXIST", "StaSam", "eBPF",
+                       "NHT"});
+    std::vector<double> sums(schemes.size(), 0.0);
+
+    for (const std::string &app : apps) {
+        std::vector<std::string> row = {app, "1.000"};
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            ExperimentSpec spec = computeSpec(app, schemes[s]);
+            auto cmp = Testbed::compare(spec);
+            double slowdown = cmp.slowdownOf(app);
+            sums[s] += slowdown;
+            row.push_back(TableWriter::num(slowdown, 3));
+        }
+        table.row(std::move(row));
+    }
+
+    std::vector<std::string> avg_row = {"Avg.", "1.000"};
+    std::vector<double> avgs;
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        double avg = sums[s] / static_cast<double>(apps.size());
+        avgs.push_back(avg);
+        avg_row.push_back(TableWriter::num(avg, 3));
+    }
+    table.row(std::move(avg_row));
+    table.print();
+
+    double exist_over = avgs[0] - 1.0;
+    std::printf("\nEXIST average overhead: %.2f%%\n", exist_over * 100);
+    const char *names[] = {"StaSam", "eBPF", "NHT"};
+    for (int s = 1; s <= 3; ++s) {
+        double factor = exist_over > 0
+                            ? (avgs[static_cast<std::size_t>(s)] - 1.0) /
+                                  exist_over
+                            : 0.0;
+        std::printf("EXIST overhead reduction vs %-6s: %.1fx "
+                    "(paper: %s)\n",
+                    names[s - 1], factor,
+                    s == 1 ? "3.5x" : (s == 2 ? "4.4x" : "6.6x"));
+    }
+    return 0;
+}

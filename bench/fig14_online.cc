@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 14: normalized throughput of the online benchmarks
+ * (Memcached under memtier, Nginx under ab, MySQL under sysbench —
+ * ten concurrent closed-loop clients each) under the four schemes.
+ * The paper reports EXIST reducing tracing overhead by 6.4x/7.3x/12.2x
+ * vs StaSam/eBPF/NHT, with EXIST around 1.1% overhead.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+
+using namespace exist;
+using namespace exist::bench;
+
+int
+main()
+{
+    printBanner("Figure 14: normalized throughput on online benchmarks");
+
+    const std::vector<std::string> apps = {"mc", "ng", "ms"};
+    const std::vector<std::string> schemes = {"EXIST", "StaSam", "eBPF",
+                                              "NHT"};
+
+    TableWriter table({"App", "Oracle", "EXIST", "StaSam", "eBPF",
+                       "NHT"});
+    std::vector<double> sums(schemes.size(), 0.0);
+
+    for (const std::string &app : apps) {
+        std::vector<std::string> row = {app, "1.000"};
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            ExperimentSpec spec = onlineSpec(app, schemes[s]);
+            auto cmp = Testbed::compare(spec);
+            double ratio = cmp.throughputRatio(app);
+            sums[s] += ratio;
+            row.push_back(TableWriter::num(ratio, 3));
+        }
+        table.row(std::move(row));
+    }
+
+    std::vector<std::string> avg_row = {"Avg.", "1.000"};
+    std::vector<double> avgs;
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        double avg = sums[s] / static_cast<double>(apps.size());
+        avgs.push_back(avg);
+        avg_row.push_back(TableWriter::num(avg, 3));
+    }
+    table.row(std::move(avg_row));
+    table.print();
+
+    double exist_loss = 1.0 - avgs[0];
+    std::printf("\nEXIST average throughput overhead: %.2f%%\n",
+                exist_loss * 100);
+    const char *names[] = {"StaSam", "eBPF", "NHT"};
+    for (int s = 1; s <= 3; ++s) {
+        double factor =
+            exist_loss > 0
+                ? (1.0 - avgs[static_cast<std::size_t>(s)]) / exist_loss
+                : 0.0;
+        std::printf("EXIST overhead reduction vs %-6s: %.1fx "
+                    "(paper: %s)\n",
+                    names[s - 1], factor,
+                    s == 1 ? "6.4x" : (s == 2 ? "7.3x" : "12.2x"));
+    }
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Figure 15: tracing overhead on the five real-world cloud applications
+ * under low and high workload stress, measured as CPI inflation and
+ * CPU-utilization increase (long-running services have no end-to-end
+ * execution time). The paper reports EXIST ~2.2% CPI overhead at low
+ * stress vs 5.1%/4.9%/20.8% for StaSam/eBPF/NHT, and ~1.1% utilization
+ * increase, stable across stress levels.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "workload/app_profile.h"
+
+using namespace exist;
+using namespace exist::bench;
+
+namespace {
+
+ExperimentSpec
+cloudSpec(const std::string &app, const std::string &backend,
+          bool high_load)
+{
+    ExperimentSpec spec;
+    spec.node.num_cores = 8;
+    AppProfile profile = AppCatalog::find(app);
+    WorkloadSpec w{.app = app, .target = true};
+    if (profile.provision == ProvisionMode::kCpuSet)
+        w.cores = {0, 1, 2, 3};
+    w.load_rps = high_load ? 6000 : 150;
+    if (app == "Pred" || app == "Agent")
+        w.load_rps = high_load ? 1200 : 60;
+    spec.workloads.push_back(std::move(w));
+    // Background co-runner, as on shared production nodes.
+    spec.workloads.push_back(
+        WorkloadSpec{.app = "xz", .cores = {4, 5, 6, 7}});
+    spec.backend = backend;
+    spec.session.period = scaledSeconds(0.4);
+    spec.warmup = secondsToCycles(0.08);
+    return spec;
+}
+
+}  // namespace
+
+int
+main()
+{
+    printBanner("Figure 15: CPI and utilization overheads on cloud "
+                "applications (5 schemes x low/high load)");
+
+    const std::vector<std::string> apps = {"Search1", "Search2",
+                                           "Cache", "Pred", "Agent"};
+    const std::vector<std::string> schemes = {"EXIST", "StaSam", "eBPF",
+                                              "NHT"};
+
+    TableWriter table({"App", "Scheme", "CPI ovh (low)",
+                       "CPI ovh (high)", "Util increase"});
+    double exist_util_sum = 0;
+    double exist_cpi_low_sum = 0;
+    for (const std::string &app : apps) {
+        for (const std::string &scheme : schemes) {
+            auto low = Testbed::compare(cloudSpec(app, scheme, false));
+            auto high = Testbed::compare(cloudSpec(app, scheme, true));
+            auto share = [](const ExperimentResult &r,
+                            const std::string &name) {
+                const AppResult &a = r.at(name);
+                return static_cast<double>(a.user_cycles +
+                                           a.kernel_cycles) /
+                       (static_cast<double>(r.window) * 8);
+            };
+            double util_delta = share(high.traced, app) -
+                                share(high.oracle, app);
+            if (scheme == "EXIST") {
+                exist_util_sum += util_delta;
+                exist_cpi_low_sum += low.cpiOverheadOf(app);
+            }
+            table.row({app, scheme,
+                       TableWriter::pct(low.cpiOverheadOf(app), 2),
+                       TableWriter::pct(high.cpiOverheadOf(app), 2),
+                       TableWriter::pct(util_delta, 2)});
+        }
+    }
+    table.print();
+    std::printf("\nEXIST averages: CPI overhead (low load) %.2f%% "
+                "(paper ~2.2%%), utilization increase %.2f%% (paper "
+                "~1.1%%). EXIST stays stable from low to high stress; "
+                "the baselines waste more cycles under stress.\n",
+                100 * exist_cpi_low_sum / apps.size(),
+                100 * exist_util_sum / apps.size());
+    return 0;
+}

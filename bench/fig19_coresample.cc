@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 19: impact of UMA's core-sampling mechanism on CPU-share
+ * Search2. Sweeping the sampled fraction of the mapped core set
+ * (30/50/80/100%) across tracing periods: accuracy barely moves, while
+ * space shrinks with fewer (bigger-buffered) cores — because the target
+ * actually runs on few cores, so tracing fewer cores with bigger
+ * buffers is the better trade.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "common.h"
+
+using namespace exist;
+using namespace exist::bench;
+
+int
+main()
+{
+    printBanner("Figure 19: impact of the UMA core sampling ratio "
+                "(CPU-share Search2)");
+
+    const std::vector<double> ratios = {0.3, 0.5, 0.8, 1.0};
+    const std::vector<double> periods = {0.1, 0.5, 1.0};
+
+    TableWriter table({"Period(s)", "Ratio", "TracedCores", "Accuracy",
+                       "SpaceRatio", "FuncRatio"});
+    for (double period : periods) {
+        double space_full = 0;
+        std::vector<std::vector<std::string>> rows;
+        for (double ratio : ratios) {
+            ExperimentSpec spec;
+            spec.node.num_cores = 16;
+            WorkloadSpec w{.app = "Search2", .target = true};
+            w.closed_clients = 12;
+            spec.workloads.push_back(std::move(w));
+            spec.workloads.push_back(WorkloadSpec{.app = "xz"});
+            spec.backend = "EXIST";
+            spec.session.period = scaledSeconds(period);
+            spec.session.core_sample_ratio = ratio;
+            spec.session.budget_mb = 96;
+            spec.warmup = secondsToCycles(0.08);
+            spec.decode = true;
+
+            ExperimentResult r = Testbed::run(spec);
+            double space =
+                static_cast<double>(r.backend_stats.trace_real_bytes);
+            if (ratio == 1.0)
+                space_full = space;
+
+            std::size_t truth_funcs = 0, decoded_funcs = 0;
+            for (std::size_t f = 0;
+                 f < r.truth_function_insns.size(); ++f) {
+                if (r.truth_function_insns[f] > 0) {
+                    ++truth_funcs;
+                    if (f < r.decoded_function_insns.size() &&
+                        r.decoded_function_insns[f] > 0)
+                        ++decoded_funcs;
+                }
+            }
+            rows.push_back(
+                {TableWriter::num(period, 1),
+                 TableWriter::pct(ratio, 0),
+                 std::to_string(r.backend_stats.traced_cores),
+                 TableWriter::pct(r.accuracy_wall, 1),
+                 TableWriter::num(space, 0),
+                 TableWriter::pct(
+                     truth_funcs
+                         ? static_cast<double>(decoded_funcs) /
+                               static_cast<double>(truth_funcs)
+                         : 1.0,
+                     1)});
+        }
+        for (auto &row : rows) {
+            double space = std::stod(row[4]);
+            row[4] = TableWriter::pct(
+                space_full > 0 ? space / space_full : 1.0, 0);
+            table.row(std::move(row));
+        }
+    }
+    table.print();
+    std::printf("\nPaper shape: accuracy is largely insensitive to the "
+                "sampling ratio, but the mechanism strongly affects "
+                "space: the sampled 30%% of cores covers all executed "
+                "cores and traces MORE useful data with its bigger "
+                "per-core buffers (paper Fig. 19 discussion).\n");
+    return 0;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the substrate hot paths: trace
+ * packet encoding, packet parsing, flow reconstruction, program
+ * execution stepping, and the event queue. These bound the wall-clock
+ * cost of the figure harnesses.
+ */
+#include <benchmark/benchmark.h>
+
+#include "decode/flow_reconstructor.h"
+#include "decode/packet_parser.h"
+#include "hwtrace/packet_writer.h"
+#include "hwtrace/topa.h"
+#include "hwtrace/tracer.h"
+#include "sim/event_queue.h"
+#include "workload/execution.h"
+
+namespace exist {
+namespace {
+
+const ProgramBinary &
+testProgram()
+{
+    static ProgramBinary prog =
+        ProgramBinary::generate(AppCatalog::find("om"), 4242);
+    return prog;
+}
+
+void
+BM_ExecutionStep(benchmark::State &state)
+{
+    ExecutionContext exec(&testProgram(), 7);
+    for (auto _ : state) {
+        StepResult s = exec.step();
+        benchmark::DoNotOptimize(s.branch.target_block);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecutionStep);
+
+void
+BM_PacketEncode(benchmark::State &state)
+{
+    TopaBuffer buf;
+    buf.configure({TopaEntry{64ull << 20, false, false}}, true);
+    PacketWriter writer(&buf);
+    writer.resetState(0);
+    ExecutionContext exec(&testProgram(), 7);
+    Cycles now = 0;
+    for (auto _ : state) {
+        StepResult s = exec.step();
+        now += s.insns;
+        switch (s.branch.kind) {
+          case BranchKind::kConditional:
+            writer.tnt(s.branch.taken, now);
+            break;
+          case BranchKind::kIndirectJump:
+          case BranchKind::kIndirectCall:
+          case BranchKind::kReturn:
+            writer.tip(
+                testProgram().block(s.branch.target_block).address,
+                now);
+            break;
+          default:
+            break;
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["bytes/branch"] = benchmark::Counter(
+        static_cast<double>(buf.bytesAccepted()) /
+        static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_PacketEncode);
+
+void
+BM_FullTracerPath(benchmark::State &state)
+{
+    CoreTracer tracer(0);
+    TracerConfig cfg;
+    cfg.cache_bypass = true;
+    cfg.topa = {TopaEntry{256ull << 20, false, false}};
+    cfg.topa_ring = true;
+    tracer.configure(cfg);
+    ExecutionContext exec(&testProgram(), 9);
+    tracer.enable(0, 0, testProgram().block(exec.currentBlock()).address);
+    Cycles now = 0;
+    for (auto _ : state) {
+        StepResult s = exec.step();
+        now += s.insns;
+        tracer.onBranch(s.branch, testProgram(), now, 0, true);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullTracerPath);
+
+void
+BM_DecodeRoundtrip(benchmark::State &state)
+{
+    // Pre-encode a trace, then measure decode throughput.
+    CoreTracer tracer(0);
+    TracerConfig cfg;
+    cfg.topa = {TopaEntry{64ull << 20, true, false}};
+    tracer.configure(cfg);
+    ExecutionContext exec(&testProgram(), 11);
+    tracer.enable(0, 0, testProgram().block(exec.currentBlock()).address);
+    Cycles now = 0;
+    std::uint64_t branches = 0;
+    for (int i = 0; i < 200000; ++i) {
+        StepResult s = exec.step();
+        now += s.insns;
+        tracer.onBranch(s.branch, testProgram(), now, 0, true);
+        ++branches;
+    }
+    tracer.disable(now);
+    const TopaBuffer &buf = tracer.output();
+    FlowReconstructor rec(&testProgram());
+    for (auto _ : state) {
+        DecodedTrace dt = rec.decode(
+            buf.data().data(), buf.bytesAccepted());
+        benchmark::DoNotOptimize(dt.branches_decoded);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(branches));
+}
+BENCHMARK(BM_DecodeRoundtrip);
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    EventQueue q;
+    int depth = 0;
+    for (auto _ : state) {
+        q.scheduleAfter(10, [&depth] { ++depth; });
+        q.step();
+    }
+    benchmark::DoNotOptimize(depth);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueue);
+
+}  // namespace
+}  // namespace exist
+
+BENCHMARK_MAIN();

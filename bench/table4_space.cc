@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Table 4: space efficiency (MB of main memory used for trace data) of
+ * the four schemes across the thirteen benchmarks, with four worker
+ * threads/cores and a 0.5 s tracing period, as in the paper. StaSam
+ * stores sampled stacks, eBPF stores sys_enter records — both small but
+ * non-chronological; NHT stores the full instruction trace of the whole
+ * period; EXIST bounds space with the UMA budget and compulsory STOP
+ * buffers. Includes the per-core vs per-thread buffer ablation.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "workload/app_profile.h"
+
+using namespace exist;
+using namespace exist::bench;
+
+namespace {
+
+ExperimentSpec
+specFor(const std::string &app, const std::string &backend)
+{
+    AppProfile profile = AppCatalog::find(app);
+    ExperimentSpec spec;
+    spec.node.num_cores = 4;
+    WorkloadSpec w{.app = app, .target = true};
+    w.workers = 4;  // paper: threads and cores set to 4
+    if (profile.is_service)
+        w.closed_clients = 10;
+    spec.workloads.push_back(std::move(w));
+    spec.backend = backend;
+    spec.session.period = scaledSeconds(0.5);
+    // The paper's 500 MB budget is spread over many-core servers; on
+    // this 4-core node the equivalent pressure is ~60 MB per core.
+    spec.session.budget_mb = 240;
+    spec.warmup = secondsToCycles(0.05);
+    return spec;
+}
+
+}  // namespace
+
+int
+main()
+{
+    printBanner("Table 4: space efficiency (MB), 4 threads/cores, "
+                "0.5 s period");
+
+    const std::vector<std::string> apps = {"pb", "gcc", "mcf", "om",
+                                           "xa", "x264", "de", "le",
+                                           "ex", "xz", "mc", "ng", "ms"};
+    const std::vector<std::string> schemes = {"StaSam", "eBPF", "NHT",
+                                              "EXIST"};
+
+    TableWriter table(
+        {"Scheme", "pb", "gcc", "mcf", "om", "xa", "x264", "de", "le",
+         "ex", "xz", "mc", "ng", "ms"});
+
+    for (const std::string &scheme : schemes) {
+        std::vector<std::string> row = {scheme};
+        for (const std::string &app : apps) {
+            ExperimentResult r = Testbed::run(specFor(app, scheme));
+            row.push_back(
+                TableWriter::mb(r.backend_stats.trace_real_bytes, 1));
+        }
+        table.row(std::move(row));
+    }
+    table.print();
+
+    // Ablation (§3.3): EXIST's per-core STOP buffers vs ring buffers.
+    printBanner("Ablation: compulsory STOP vs ring buffers (EXIST, om)");
+    for (bool ring : {false, true}) {
+        ExperimentSpec spec = specFor("om", "EXIST");
+        spec.session.ring_buffers = ring;
+        spec.session.max_core_buffer_mb = 32;  // force overflow
+        ExperimentResult r = Testbed::run(spec);
+        std::printf("  %-14s accepted=%s MB dropped=%s MB\n",
+                    ring ? "ring" : "compulsory",
+                    TableWriter::mb(r.backend_stats.trace_real_bytes)
+                        .c_str(),
+                    TableWriter::mb(r.backend_stats.dropped_real_bytes)
+                        .c_str());
+    }
+    return 0;
+}

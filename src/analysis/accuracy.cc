@@ -1,0 +1,78 @@
+#include "analysis/accuracy.h"
+
+#include <algorithm>
+
+namespace exist {
+
+double
+coverageAccuracy(std::uint64_t decoded_branches,
+                 std::uint64_t truth_branches)
+{
+    if (truth_branches == 0)
+        return decoded_branches == 0 ? 1.0 : 0.0;
+    double r = static_cast<double>(decoded_branches) /
+               static_cast<double>(truth_branches);
+    return std::clamp(r, 0.0, 1.0);
+}
+
+double
+wallWeightAccuracy(const std::vector<std::uint64_t> &a,
+                   const std::vector<std::uint64_t> &b)
+{
+    double sa = 0, sb = 0;
+    for (auto v : a)
+        sa += static_cast<double>(v);
+    for (auto v : b)
+        sb += static_cast<double>(v);
+    if (sa == 0 && sb == 0)
+        return 1.0;
+    if (sa == 0 || sb == 0)
+        return 0.0;
+    std::size_t n = std::max(a.size(), b.size());
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double pa = i < a.size() ? static_cast<double>(a[i]) / sa : 0.0;
+        double pb = i < b.size() ? static_cast<double>(b[i]) / sb : 0.0;
+        err += pa > pb ? pa - pb : pb - pa;
+    }
+    return (2.0 - err) / 2.0;
+}
+
+PathMatch
+matchPath(const std::vector<std::uint32_t> &decoded,
+          const std::vector<std::uint32_t> &truth)
+{
+    PathMatch m;
+    std::size_t ti = 0;
+    for (std::uint32_t blk : decoded) {
+        while (ti < truth.size() && truth[ti] != blk)
+            ++ti;
+        if (ti == truth.size())
+            break;
+        ++m.matched;
+        ++ti;
+    }
+    m.precision = decoded.empty()
+                      ? 1.0
+                      : static_cast<double>(m.matched) /
+                            static_cast<double>(decoded.size());
+    m.recall = truth.empty() ? 1.0
+                             : static_cast<double>(m.matched) /
+                                   static_cast<double>(truth.size());
+    return m;
+}
+
+std::vector<std::uint64_t>
+mergeFunctionProfiles(const std::vector<std::vector<std::uint64_t>> &ws)
+{
+    std::size_t n = 0;
+    for (const auto &w : ws)
+        n = std::max(n, w.size());
+    std::vector<std::uint64_t> merged(n, 0);
+    for (const auto &w : ws)
+        for (std::size_t i = 0; i < w.size(); ++i)
+            merged[i] += w[i];
+    return merged;
+}
+
+}  // namespace exist

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tracing-accuracy metrics (paper §5.3):
+ *
+ *  - coverage accuracy: decoded branch transitions over ground-truth
+ *    branches (benchmarks, where runs are directly comparable);
+ *  - Wall's weight-matching accuracy: (maxerror - error)/maxerror over
+ *    normalized per-function occurrence distributions, where error is
+ *    the L1 distance and maxerror = 2 (real-world applications);
+ *  - path precision/recall for exact block-path validation in tests.
+ */
+#ifndef EXIST_ANALYSIS_ACCURACY_H
+#define EXIST_ANALYSIS_ACCURACY_H
+
+#include <cstdint>
+#include <vector>
+
+namespace exist {
+
+/** decoded/truth, clamped to [0,1]. */
+double coverageAccuracy(std::uint64_t decoded_branches,
+                        std::uint64_t truth_branches);
+
+/**
+ * Wall weight matching between two per-function weight vectors
+ * (typically instruction counts). Returns (2 - L1(p, q)) / 2 where p, q
+ * are the normalized distributions; 1.0 = identical, 0.0 = disjoint.
+ */
+double wallWeightAccuracy(const std::vector<std::uint64_t> &a,
+                          const std::vector<std::uint64_t> &b);
+
+/** In-order subsequence match of `decoded` against `truth`. */
+struct PathMatch {
+    std::uint64_t matched = 0;
+    /** matched / decoded.size(): 1.0 means everything decoded really
+     *  happened, in order. */
+    double precision = 1.0;
+    /** matched / truth.size(): the coverage of the reconstruction. */
+    double recall = 0.0;
+};
+PathMatch matchPath(const std::vector<std::uint32_t> &decoded,
+                    const std::vector<std::uint32_t> &truth);
+
+/**
+ * Merge per-function weight vectors from multiple tracing repetitions
+ * (workers): element-wise sum, so mass one worker's buffer dropped is
+ * complemented by the others (paper §3.4 trace augmentation).
+ */
+std::vector<std::uint64_t>
+mergeFunctionProfiles(const std::vector<std::vector<std::uint64_t>> &ws);
+
+}  // namespace exist
+
+#endif  // EXIST_ANALYSIS_ACCURACY_H

@@ -1,0 +1,132 @@
+#include "analysis/attribution.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace exist {
+
+namespace {
+
+/** Decode timestamps trail the sidecar's by up to the CYC emission
+ *  granularity; allow a small skew when intersecting. */
+constexpr Cycles kSkewTolerance = usToCycles(30.0);
+
+const std::vector<OccupancySlice> kEmptyTimeline;
+
+}  // namespace
+
+ThreadAttributor::ThreadAttributor(const std::vector<SwitchRecord> &log)
+{
+    // The log may interleave cores and, because per-core execution
+    // cursors run slightly ahead of the global clock, arrive slightly
+    // out of order; rebuild per-core, time-ordered.
+    std::map<CoreId, std::vector<const SwitchRecord *>> per_core;
+    for (const SwitchRecord &r : log)
+        per_core[r.cpu].push_back(&r);
+
+    for (auto &[core, records] : per_core) {
+        std::stable_sort(records.begin(), records.end(),
+                         [](const SwitchRecord *a,
+                            const SwitchRecord *b) {
+                             return a->timestamp < b->timestamp;
+                         });
+        std::vector<OccupancySlice> timeline;
+        OccupancySlice open;
+        bool has_open = false;
+        for (const SwitchRecord *r : records) {
+            if (r->op == 1) {  // sched in
+                if (has_open) {
+                    // Missing sched-out (lost record): close at the
+                    // next in-event.
+                    open.end = r->timestamp;
+                    timeline.push_back(open);
+                }
+                open = OccupancySlice{r->timestamp,
+                                      OccupancySlice::kOpenEnd,
+                                      r->tid};
+                has_open = true;
+            } else {  // sched out
+                if (has_open && open.tid == r->tid) {
+                    open.end = r->timestamp;
+                    timeline.push_back(open);
+                    has_open = false;
+                }
+                // An out without a matching in (session started while
+                // the thread was on-core): synthesize from time zero.
+                else if (!has_open) {
+                    timeline.push_back(OccupancySlice{
+                        0, r->timestamp, r->tid});
+                }
+            }
+        }
+        if (has_open)
+            timeline.push_back(open);
+        timelines_.emplace(core, std::move(timeline));
+    }
+}
+
+const std::vector<OccupancySlice> &
+ThreadAttributor::timeline(CoreId core) const
+{
+    auto it = timelines_.find(core);
+    return it == timelines_.end() ? kEmptyTimeline : it->second;
+}
+
+ThreadId
+ThreadAttributor::threadAt(CoreId core, Cycles t) const
+{
+    for (const OccupancySlice &s : timeline(core))
+        if (t >= s.start && (s.end == OccupancySlice::kOpenEnd ||
+                             t < s.end))
+            return s.tid;
+    return kInvalidId;
+}
+
+std::map<ThreadId, ThreadTrace>
+ThreadAttributor::attribute(CoreId core, const DecodedTrace &trace) const
+{
+    std::map<ThreadId, ThreadTrace> out;
+    std::map<ThreadId, Cycles> last_end;
+
+    for (const DecodedSegment &seg : trace.segments) {
+        // Attribute by the midpoint, falling back to a skew-tolerant
+        // probe of the start (short segments at slice boundaries).
+        Cycles mid = seg.start_time +
+                     (seg.end_time - seg.start_time) / 2;
+        ThreadId tid = threadAt(core, mid);
+        if (tid == kInvalidId)
+            tid = threadAt(core, seg.start_time + kSkewTolerance);
+        ThreadTrace &tt = out[tid];
+        tt.tid = tid;
+        ++tt.segments;
+        tt.branches += seg.branches;
+        tt.active_cycles += seg.end_time - seg.start_time;
+        auto it = last_end.find(tid);
+        if (it != last_end.end() && seg.start_time > it->second)
+            tt.longest_gap = std::max(tt.longest_gap,
+                                      seg.start_time - it->second);
+        last_end[tid] = seg.end_time;
+    }
+    return out;
+}
+
+std::map<ThreadId, ThreadTrace>
+ThreadAttributor::merge(
+    const std::vector<std::map<ThreadId, ThreadTrace>> &parts)
+{
+    std::map<ThreadId, ThreadTrace> merged;
+    for (const auto &part : parts) {
+        for (const auto &[tid, tt] : part) {
+            ThreadTrace &m = merged[tid];
+            m.tid = tid;
+            m.segments += tt.segments;
+            m.branches += tt.branches;
+            m.active_cycles += tt.active_cycles;
+            m.longest_gap = std::max(m.longest_gap, tt.longest_gap);
+        }
+    }
+    return merged;
+}
+
+}  // namespace exist

@@ -1,0 +1,95 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace exist {
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+TableWriter &
+TableWriter::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+std::string
+TableWriter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TableWriter::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+TableWriter::mb(std::uint64_t bytes, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision,
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+    return buf;
+}
+
+std::string
+TableWriter::str() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &r : rows_)
+        for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i)
+            widths[i] = std::max(widths[i], r[i].size());
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line;
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            line += cell;
+            line.append(widths[i] > cell.size()
+                            ? widths[i] - cell.size() + 2
+                            : 2,
+                        ' ');
+        }
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out = renderRow(headers_);
+    std::string sep;
+    for (std::size_t i = 0; i < widths.size(); ++i)
+        sep += std::string(widths[i], '-') + "  ";
+    while (!sep.empty() && sep.back() == ' ')
+        sep.pop_back();
+    out += sep + "\n";
+    for (const auto &r : rows_)
+        out += renderRow(r);
+    return out;
+}
+
+void
+TableWriter::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+void
+printBanner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace exist

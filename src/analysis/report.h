@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harness: each bench
+ * binary prints the same rows/series its paper figure or table reports.
+ */
+#ifndef EXIST_ANALYSIS_REPORT_H
+#define EXIST_ANALYSIS_REPORT_H
+
+#include <string>
+#include <vector>
+
+namespace exist {
+
+/** Fixed-width text table with a header row. */
+class TableWriter
+{
+  public:
+    explicit TableWriter(std::vector<std::string> headers);
+
+    TableWriter &row(std::vector<std::string> cells);
+
+    /** Format helpers. */
+    static std::string num(double v, int precision = 2);
+    static std::string pct(double fraction, int precision = 2);
+    static std::string mb(std::uint64_t bytes, int precision = 1);
+
+    /** Render with aligned columns. */
+    std::string str() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner ("=== Figure 13 ... ==="). */
+void printBanner(const std::string &title);
+
+}  // namespace exist
+
+#endif  // EXIST_ANALYSIS_REPORT_H

@@ -1,0 +1,46 @@
+#include "baselines/ebpf.h"
+
+#include "os/costs.h"
+#include "util/logging.h"
+
+namespace exist {
+
+void
+EbpfBackend::start(Kernel &kernel, const SessionSpec &spec)
+{
+    EXIST_ASSERT(spec.target != nullptr, "eBPF needs a target");
+    target_pid_ = spec.target->pid();
+    events_ = 0;
+    target_events_ = 0;
+
+    hook_id_ = kernel.addSyscallHook(
+        [this](Cycles, CoreId, Thread &t) -> Cycles {
+            ++events_;
+            if (t.process().pid() == target_pid_)
+                ++target_events_;
+            return costs::kEbpfProbe;
+        });
+
+    kernel.setTimer(kernel.now() + spec.period,
+                    [this, &kernel] { stop(kernel); });
+}
+
+void
+EbpfBackend::stop(Kernel &kernel)
+{
+    if (hook_id_ != 0) {
+        kernel.removeSyscallHook(hook_id_);
+        hook_id_ = 0;
+    }
+}
+
+BackendStats
+EbpfBackend::stats() const
+{
+    BackendStats s;
+    s.probe_hits = events_;
+    s.trace_real_bytes = events_ * kBytesPerEvent;
+    return s;
+}
+
+}  // namespace exist

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * eBPF baseline: `bpftrace -e 'tracepoint:raw_syscalls:sys_enter ...'`
+ * (Table 2). A probe fires at every syscall entry system-wide; each hit
+ * pays the probe dispatch + map update + amortized userspace processing
+ * cost. Produces kernel-boundary event records only — user-level
+ * execution remains a black box.
+ */
+#ifndef EXIST_BASELINES_EBPF_H
+#define EXIST_BASELINES_EBPF_H
+
+#include "baselines/backend.h"
+
+namespace exist {
+
+class EbpfBackend final : public TracerBackend
+{
+  public:
+    /** Bytes per emitted sys_enter record. */
+    static constexpr std::uint64_t kBytesPerEvent = 40;
+
+    std::string name() const override { return "eBPF"; }
+    void start(Kernel &kernel, const SessionSpec &spec) override;
+    void stop(Kernel &kernel) override;
+    bool active() const override { return hook_id_ != 0; }
+    BackendStats stats() const override;
+
+    std::uint64_t targetEvents() const { return target_events_; }
+
+  private:
+    int hook_id_ = 0;
+    ProcessId target_pid_ = kInvalidId;
+    std::uint64_t events_ = 0;
+    std::uint64_t target_events_ = 0;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_BASELINES_EBPF_H

@@ -1,0 +1,178 @@
+#include "baselines/nht.h"
+
+#include <algorithm>
+
+#include "hwtrace/packet.h"
+#include "os/costs.h"
+#include "util/logging.h"
+
+namespace exist {
+
+NhtBackend::PerThread &
+NhtBackend::threadBuffer(ThreadId tid)
+{
+    auto it = bufs_.find(tid);
+    if (it == bufs_.end()) {
+        auto pt = std::make_unique<PerThread>();
+        std::uint64_t model_bytes = std::max<std::uint64_t>(
+            4096, aux_real_mb_ * 1024 * 1024 / kTraceByteScale);
+        pt->buffer.configure(
+            {TopaEntry{model_bytes, /*stop=*/false,
+                       /*intr=*/!ring_only_}},
+            /*ring=*/true);
+        it = bufs_.emplace(tid, std::move(pt)).first;
+    }
+    return *it->second;
+}
+
+Cycles
+NhtBackend::drain(CoreId core, Cycles now)
+{
+    (void)now;
+    auto it = attached_.find(core);
+    if (it == attached_.end())
+        return 0;
+    PerThread &pt = *bufs_.at(it->second);
+    std::uint64_t n = pt.buffer.drainTo(pt.dump);
+    ++pmis_;
+    return costs::kAuxPmi +
+           static_cast<Cycles>(static_cast<double>(n) *
+                               costs::kAuxDumpPerModelByte);
+}
+
+Cycles
+NhtBackend::attachTo(Kernel &kernel, CoreId core, Thread &t, Cycles now)
+{
+    CoreTracer &tr = kernel.tracer(core);
+    Cycles cost = 0;
+
+    if (tr.enabled()) {
+        cost += tr.disable(now).cost;
+        ++msr_writes_;
+    }
+
+    PerThread &pt = threadBuffer(t.tid());
+    TracerConfig cfg;
+    cfg.cr3_filter = true;
+    cfg.cr3_match = target_cr3_;
+    cfg.external_output = &pt.buffer;
+    cfg.cache_bypass = false;  // perf aux buffers are write-back memory
+    auto conf = tr.configure(cfg);
+    cost += conf.cost;
+    msr_writes_ += 4;
+
+    auto en = tr.enable(now, t.process().cr3(), t.currentAddress());
+    cost += en.cost;
+    ++msr_writes_;
+    ++control_ops_;
+
+    attached_[core] = t.tid();
+    pt.last_core = core;
+    return cost;
+}
+
+void
+NhtBackend::start(Kernel &kernel, const SessionSpec &spec)
+{
+    EXIST_ASSERT(spec.target != nullptr, "NHT needs a target");
+    if (spec.nht_aux_mb > 0)
+        aux_real_mb_ = spec.nht_aux_mb;
+    ring_only_ = spec.nht_ring_only;
+    kernel_ = &kernel;
+    target_pid_ = spec.target->pid();
+    target_cr3_ = spec.target->cr3();
+
+    if (!ring_only_) {
+        kernel.setPmiHandler(
+            [this](CoreId core, Cycles now) -> Cycles {
+                return drain(core, now);
+            });
+    }
+
+    hook_id_ = kernel.addSchedSwitchHook(
+        [this, &kernel](Cycles now, CoreId core, Thread *prev,
+                        Thread *next) -> Cycles {
+            Cycles cost = 0;
+            bool prev_target =
+                prev && prev->process().pid() == target_pid_;
+            bool next_target =
+                next && next->process().pid() == target_pid_;
+            CoreTracer &tr = kernel.tracer(core);
+
+            if (prev_target && tr.enabled()) {
+                // Swap out: stop tracing; the lossless regimes also
+                // drain the buffer so the ring never overwrites
+                // (REPT-style post-mortem rings keep only the tail).
+                cost += tr.disable(now).cost;
+                ++msr_writes_;
+                ++control_ops_;
+                if (!ring_only_)
+                    cost += drain(core, now);
+                attached_.erase(core);
+            }
+            if (next_target)
+                cost += attachTo(kernel, core, *next, now);
+            return cost;
+        });
+
+    // Threads of the target already running when tracing starts.
+    for (int c = 0; c < kernel.numCores(); ++c) {
+        Thread *t = kernel.runningOn(c);
+        if (t && t->process().pid() == target_pid_)
+            attachTo(kernel, c, *t, kernel.now());
+    }
+
+    kernel.setTimer(kernel.now() + spec.period,
+                    [this, &kernel] { stop(kernel); });
+}
+
+void
+NhtBackend::stop(Kernel &kernel)
+{
+    if (hook_id_ == 0)
+        return;
+    kernel.removeSchedSwitchHook(hook_id_);
+    hook_id_ = 0;
+    kernel.setPmiHandler(nullptr);
+
+    for (auto &[core, tid] : attached_) {
+        CoreTracer &tr = kernel.tracer(core);
+        if (tr.enabled()) {
+            tr.disable(kernel.now());
+            ++msr_writes_;
+        }
+    }
+    // Final drain of all residual buffer content.
+    for (auto &[tid, pt] : bufs_)
+        pt->buffer.drainTo(pt->dump);
+    attached_.clear();
+}
+
+BackendStats
+NhtBackend::stats() const
+{
+    BackendStats s;
+    for (const auto &[tid, pt] : bufs_)
+        s.trace_real_bytes += pt->dump.size() * kTraceByteScale;
+    s.msr_writes = msr_writes_;
+    s.control_ops = control_ops_;
+    s.pmis = pmis_;
+    s.traced_cores = attached_.size();
+    return s;
+}
+
+std::vector<CollectedTrace>
+NhtBackend::collect()
+{
+    std::vector<CollectedTrace> out;
+    for (auto &[tid, pt] : bufs_) {
+        CollectedTrace ct;
+        ct.thread = tid;
+        ct.core = pt->last_core;
+        ct.bytes = pt->dump;
+        out.push_back(std::move(ct));
+    }
+    return out;
+}
+
+}  // namespace exist

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * NHT — Native Hardware Tracing, the `perf record -e intel_pt//` model
+ * (Table 2). The conventional per-thread-buffer design the paper
+ * criticises (§2.3, §3.3): tracing state is reconfigured at *every*
+ * context switch of the target (disable, swap output base, enable —
+ * each an RTIT MSR sequence), the aux buffer is write-back memory whose
+ * stores compete with the application, and every aux-buffer fill raises
+ * a PMI whose handler copies the data out to perf.data.
+ */
+#ifndef EXIST_BASELINES_NHT_H
+#define EXIST_BASELINES_NHT_H
+
+#include <memory>
+#include <unordered_map>
+
+#include "baselines/backend.h"
+#include "hwtrace/topa.h"
+
+namespace exist {
+
+class NhtBackend final : public TracerBackend
+{
+  public:
+    /** Per-thread aux buffer size (real MB), perf's default ballpark.
+     *  Other hardware-tracing designs differ mainly in this knob:
+     *  REPT-style reverse debugging uses tiny per-thread rings, JPortal
+     *  uses huge ones (paper Fig. 6). */
+    static constexpr std::uint64_t kAuxRealMb = 8;
+
+    explicit NhtBackend(std::uint64_t aux_real_mb = kAuxRealMb)
+        : aux_real_mb_(std::max<std::uint64_t>(1, aux_real_mb))
+    {
+    }
+
+    std::string name() const override { return "NHT"; }
+    void start(Kernel &kernel, const SessionSpec &spec) override;
+    void stop(Kernel &kernel) override;
+    bool active() const override { return hook_id_ != 0; }
+    BackendStats stats() const override;
+    std::vector<CollectedTrace> collect() override;
+    bool producesInstructionTrace() const override { return true; }
+
+  private:
+    struct PerThread {
+        TopaBuffer buffer;
+        std::vector<std::uint8_t> dump;  ///< perf.data aux content
+        CoreId last_core = kInvalidId;
+    };
+
+    PerThread &threadBuffer(ThreadId tid);
+    Cycles attachTo(Kernel &kernel, CoreId core, Thread &t, Cycles now);
+    Cycles drain(CoreId core, Cycles now);
+
+    std::uint64_t aux_real_mb_;
+    bool ring_only_ = false;
+    Kernel *kernel_ = nullptr;
+    int hook_id_ = 0;
+    ProcessId target_pid_ = kInvalidId;
+    std::uint64_t target_cr3_ = 0;
+
+    std::unordered_map<ThreadId, std::unique_ptr<PerThread>> bufs_;
+    std::unordered_map<CoreId, ThreadId> attached_;
+
+    std::uint64_t msr_writes_ = 0;
+    std::uint64_t control_ops_ = 0;
+    std::uint64_t pmis_ = 0;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_BASELINES_NHT_H

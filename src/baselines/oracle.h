@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The Oracle backend: normal execution with no tracing attached.
+ * Baseline against which every slowdown in the evaluation is normalized.
+ */
+#ifndef EXIST_BASELINES_ORACLE_H
+#define EXIST_BASELINES_ORACLE_H
+
+#include "baselines/backend.h"
+
+namespace exist {
+
+class OracleBackend final : public TracerBackend
+{
+  public:
+    std::string name() const override { return "Oracle"; }
+    void
+    start(Kernel &, const SessionSpec &) override
+    {
+        active_ = true;
+    }
+    void
+    stop(Kernel &) override
+    {
+        active_ = false;
+    }
+    bool active() const override { return active_; }
+    BackendStats stats() const override { return {}; }
+
+  private:
+    bool active_ = false;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_BASELINES_ORACLE_H

@@ -1,0 +1,50 @@
+#include "baselines/stasam.h"
+
+#include "os/costs.h"
+#include "util/logging.h"
+
+namespace exist {
+
+void
+StaSamBackend::start(Kernel &kernel, const SessionSpec &spec)
+{
+    EXIST_ASSERT(spec.target != nullptr, "StaSam needs a target");
+    target_pid_ = spec.target->pid();
+    samples_ = 0;
+    function_samples_.clear();
+
+    InterruptSource src;
+    src.period = secondsToCycles(1.0 / freq_);
+    src.cost = costs::kSamplingInterrupt;
+    src.handler = [this](CoreId, Thread *t) {
+        if (t == nullptr)
+            return;  // idle core: no PMI (no cycles retired)
+        ++samples_;
+        if (t->process().pid() == target_pid_)
+            ++function_samples_[t->currentFunctionId()];
+    };
+    source_id_ = kernel.addInterruptSource(src);
+
+    kernel.setTimer(kernel.now() + spec.period,
+                    [this, &kernel] { stop(kernel); });
+}
+
+void
+StaSamBackend::stop(Kernel &kernel)
+{
+    if (source_id_ != 0) {
+        kernel.removeInterruptSource(source_id_);
+        source_id_ = 0;
+    }
+}
+
+BackendStats
+StaSamBackend::stats() const
+{
+    BackendStats s;
+    s.samples = samples_;
+    s.trace_real_bytes = samples_ * kBytesPerSample;
+    return s;
+}
+
+}  // namespace exist

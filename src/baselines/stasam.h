@@ -1,0 +1,55 @@
+/**
+ * @file
+ * StaSam: statistical sampling a la `perf record -a -F 3999` (Table 2).
+ * Every core takes a PMI at the sampling frequency; each interrupt
+ * unwinds the stack of whatever runs there. Produces function-level
+ * statistical profiles — no chronological instruction trace — at a
+ * system-wide interrupt cost.
+ */
+#ifndef EXIST_BASELINES_STASAM_H
+#define EXIST_BASELINES_STASAM_H
+
+#include <unordered_map>
+
+#include "baselines/backend.h"
+
+namespace exist {
+
+class StaSamBackend final : public TracerBackend
+{
+  public:
+    /** Default perf sampling frequency used in the paper. */
+    static constexpr double kDefaultFrequency = 3999.0;
+    /** Bytes per recorded sample in perf.data (callchain included). */
+    static constexpr std::uint64_t kBytesPerSample = 560;
+
+    explicit StaSamBackend(double frequency = kDefaultFrequency)
+        : freq_(frequency)
+    {
+    }
+
+    std::string name() const override { return "StaSam"; }
+    void start(Kernel &kernel, const SessionSpec &spec) override;
+    void stop(Kernel &kernel) override;
+    bool active() const override { return source_id_ != 0; }
+    BackendStats stats() const override;
+
+    /** Function-id -> sample count for the target process (the
+     *  statistical profile a flamegraph would show). */
+    const std::unordered_map<std::uint32_t, std::uint64_t> &
+    functionSamples() const
+    {
+        return function_samples_;
+    }
+
+  private:
+    double freq_;
+    int source_id_ = 0;
+    ProcessId target_pid_ = kInvalidId;
+    std::uint64_t samples_ = 0;
+    std::unordered_map<std::uint32_t, std::uint64_t> function_samples_;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_BASELINES_STASAM_H

@@ -1,0 +1,76 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "workload/app_profile.h"
+
+namespace exist {
+
+void
+Cluster::deploy(const std::string &app, int replicas)
+{
+    EXIST_ASSERT(replicas > 0, "deploy needs at least one replica");
+    for (int i = 0; i < replicas; ++i) {
+        PodInstance pod;
+        pod.id = next_pod_id_++;
+        pod.app = app;
+        pod.node = next_node_rr_ % cfg_.num_nodes;
+        pod.replica_index = i;
+        ++next_node_rr_;
+        pods_.push_back(std::move(pod));
+    }
+}
+
+std::vector<const PodInstance *>
+Cluster::podsOf(const std::string &app) const
+{
+    std::vector<const PodInstance *> out;
+    for (const auto &p : pods_)
+        if (p.app == app)
+            out.push_back(&p);
+    return out;
+}
+
+std::vector<const PodInstance *>
+Cluster::podsOn(NodeId node) const
+{
+    std::vector<const PodInstance *> out;
+    for (const auto &p : pods_)
+        if (p.node == node)
+            out.push_back(&p);
+    return out;
+}
+
+std::vector<std::string>
+Cluster::deployedApps() const
+{
+    std::vector<std::string> names;
+    for (const auto &p : pods_)
+        if (std::find(names.begin(), names.end(), p.app) == names.end())
+            names.push_back(p.app);
+    return names;
+}
+
+int
+Cluster::replicasOf(const std::string &app) const
+{
+    return static_cast<int>(podsOf(app).size());
+}
+
+AppDeployment
+Cluster::metadataFor(const std::string &app, bool anomaly) const
+{
+    AppProfile profile = AppCatalog::find(app);
+    AppDeployment d;
+    d.app = app;
+    d.priority = profile.priority;
+    d.binary_bytes = profile.binary_bytes;
+    d.past_incidents = profile.past_incidents;
+    d.replicas = replicasOf(app);
+    d.anomaly = anomaly;
+    EXIST_ASSERT(d.replicas > 0, "app %s is not deployed", app.c_str());
+    return d;
+}
+
+}  // namespace exist

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The cluster model: nodes, pods, and deployments. Each node is
+ * simulated on demand (a full kernel + workload instance); the cluster
+ * object tracks placement metadata, which is all the RCO policy layer
+ * needs. Binaries are deterministic in the application name, so every
+ * replica of an app across nodes runs the same binary — the property
+ * that makes cross-worker trace merging meaningful (paper §3.4).
+ */
+#ifndef EXIST_CLUSTER_CLUSTER_H
+#define EXIST_CLUSTER_CLUSTER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rco.h"
+#include "util/types.h"
+
+namespace exist {
+
+struct ClusterConfig {
+    int num_nodes = 10;
+    int cores_per_node = 8;
+    std::uint64_t seed = 7;
+};
+
+/** One pod: a replica of an application placed on a node. */
+struct PodInstance {
+    PodId id = kInvalidId;
+    std::string app;
+    NodeId node = kInvalidId;
+    int replica_index = 0;
+};
+
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterConfig &cfg) : cfg_(cfg) {}
+
+    const ClusterConfig &config() const { return cfg_; }
+    int numNodes() const { return cfg_.num_nodes; }
+
+    /** Deploy `replicas` pods of `app`, round-robin across nodes. */
+    void deploy(const std::string &app, int replicas);
+
+    const std::vector<PodInstance> &pods() const { return pods_; }
+    std::vector<const PodInstance *> podsOf(const std::string &app) const;
+    std::vector<const PodInstance *> podsOn(NodeId node) const;
+    std::vector<std::string> deployedApps() const;
+    int replicasOf(const std::string &app) const;
+
+    /** Build the RCO metadata view of a deployed application. */
+    AppDeployment metadataFor(const std::string &app,
+                              bool anomaly = false) const;
+
+  private:
+    ClusterConfig cfg_;
+    std::vector<PodInstance> pods_;
+    int next_pod_id_ = 1;
+    int next_node_rr_ = 0;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_CLUSTER_CLUSTER_H

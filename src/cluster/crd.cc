@@ -1,0 +1,60 @@
+#include "cluster/crd.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace exist {
+
+TraceRequest
+TraceRequest::parse(const std::string &manifest)
+{
+    TraceRequest req;
+    std::istringstream in(manifest);
+    std::string token;
+    while (in >> token) {
+        auto eq = token.find('=');
+        if (eq == std::string::npos)
+            EXIST_FATAL("malformed manifest token '%s'", token.c_str());
+        std::string key = token.substr(0, eq);
+        std::string value = token.substr(eq + 1);
+        if (key == "app") {
+            req.app = value;
+        } else if (key == "anomaly") {
+            req.anomaly = value == "true" || value == "1";
+        } else if (key == "period_ms") {
+            req.period_override = static_cast<Cycles>(
+                std::stod(value) * static_cast<double>(kCyclesPerMs));
+        } else if (key == "budget_mb") {
+            req.budget_mb = std::stoull(value);
+        } else if (key == "ring") {
+            req.ring_buffers = value == "true" || value == "1";
+        } else if (key == "core_sample_ratio") {
+            req.core_sample_ratio = std::stod(value);
+        } else {
+            EXIST_FATAL("unknown manifest key '%s'", key.c_str());
+        }
+    }
+    if (req.app.empty())
+        EXIST_FATAL("manifest missing app=");
+    return req;
+}
+
+std::string
+TraceRequest::toManifest() const
+{
+    std::ostringstream out;
+    out << "app=" << app;
+    if (anomaly)
+        out << " anomaly=true";
+    if (period_override)
+        out << " period_ms=" << cyclesToMs(period_override);
+    out << " budget_mb=" << budget_mb;
+    if (ring_buffers)
+        out << " ring=true";
+    if (core_sample_ratio > 0)
+        out << " core_sample_ratio=" << core_sample_ratio;
+    return out.str();
+}
+
+}  // namespace exist

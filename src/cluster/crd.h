@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The configuration interface of EXIST's cluster integration (paper §4):
+ * tracing requests are Custom-Resource-Definition-style objects created
+ * through a unified interface; a controller reconciles them. The
+ * key=value text form models the kubectl-applied manifest.
+ */
+#ifndef EXIST_CLUSTER_CRD_H
+#define EXIST_CLUSTER_CRD_H
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.h"
+
+namespace exist {
+
+/** Lifecycle of a TraceRequest object. */
+enum class RequestPhase : std::uint8_t {
+    kPending,
+    kRunning,
+    kCompleted,
+    kFailed,
+};
+
+inline const char *
+requestPhaseName(RequestPhase p)
+{
+    switch (p) {
+      case RequestPhase::kPending: return "Pending";
+      case RequestPhase::kRunning: return "Running";
+      case RequestPhase::kCompleted: return "Completed";
+      case RequestPhase::kFailed: return "Failed";
+    }
+    return "?";
+}
+
+/** A tracing request CRD. */
+struct TraceRequest {
+    std::uint64_t id = 0;  ///< assigned by the API server
+    std::string app;       ///< target application name
+    /** Anomaly-triggered requests trace every repetition (§3.4). */
+    bool anomaly = false;
+    /** User override of the tracing period; 0 = let RCO decide. */
+    Cycles period_override = 0;
+    /** Node memory budget for trace buffers (MB). */
+    std::uint64_t budget_mb = 500;
+    /** Personalized option: ring buffers instead of compulsory STOP. */
+    bool ring_buffers = false;
+    /** Personalized option: UMA core sampling ratio (0 = default). */
+    double core_sample_ratio = 0.0;
+
+    RequestPhase phase = RequestPhase::kPending;
+
+    /**
+     * Parse a manifest of "key=value" pairs separated by whitespace or
+     * newlines, e.g. "app=Search1 anomaly=true period_ms=500".
+     * Fatal on unknown keys (a malformed manifest is a user error).
+     */
+    static TraceRequest parse(const std::string &manifest);
+
+    /** Render back to manifest form. */
+    std::string toManifest() const;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_CLUSTER_CRD_H

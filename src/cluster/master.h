@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The Kubernetes-master-side integration (paper §4 + §3.4): an API
+ * server holding TraceRequest CRDs, and a reconciling controller that
+ * (1) asks RCO for the tracing period and the set of repetitions,
+ * (2) runs an EXIST session on each selected worker node,
+ * (3) uploads raw trace objects to the object store,
+ * (4) decodes them against the binary repository and writes structured
+ *     rows to the table store, and
+ * (5) merges per-worker traces into one augmented report.
+ */
+#ifndef EXIST_CLUSTER_MASTER_H
+#define EXIST_CLUSTER_MASTER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/crd.h"
+#include "cluster/storage.h"
+#include "core/rco.h"
+#include "util/rng.h"
+
+namespace exist {
+
+/** The merged outcome of one reconciled trace request. */
+struct TraceReport {
+    std::uint64_t request_id = 0;
+    std::string app;
+    Cycles period = 0;
+    std::vector<NodeId> traced_nodes;
+    std::vector<double> per_worker_accuracy;
+    /** Wall accuracy of the merged profile vs the merged reference. */
+    double merged_accuracy = 0.0;
+    std::vector<std::uint64_t> merged_function_insns;
+    /** Merged exhaustive reference across workers (for re-scoring
+     *  subsets, e.g. the Fig. 20 sweep). */
+    std::vector<std::uint64_t> merged_truth_function_insns;
+    std::uint64_t total_trace_bytes = 0;
+    /** Mean slowdown observed on the traced pods (sanity telemetry). */
+    double mean_target_cpi = 0.0;
+};
+
+class Master
+{
+  public:
+    Master(Cluster *cluster, RcoConfig rco_cfg = {});
+
+    /** Create a TraceRequest object (API server write). */
+    std::uint64_t submit(TraceRequest req);
+    /** Convenience: submit from a manifest string. */
+    std::uint64_t apply(const std::string &manifest);
+
+    /** Run the controller loop until no request is pending. */
+    void reconcile();
+
+    const TraceRequest *request(std::uint64_t id) const;
+    const TraceReport *report(std::uint64_t id) const;
+
+    ObjectStore &oss() { return oss_; }
+    OdpsTable &odps() { return odps_; }
+    const RepetitionAwareCoverageOptimizer &rco() const { return rco_; }
+
+    /** Management-plane resource footprint (paper Fig. 17). */
+    struct Footprint {
+        double cores;
+        double memory_mb;
+    };
+    Footprint managementFootprint() const;
+
+    std::uint64_t sessionsRun() const { return sessions_run_; }
+
+  private:
+    void reconcileOne(TraceRequest &req);
+
+    Cluster *cluster_;
+    RepetitionAwareCoverageOptimizer rco_;
+    Rng rng_;
+    std::map<std::uint64_t, TraceRequest> requests_;
+    std::map<std::uint64_t, TraceReport> reports_;
+    ObjectStore oss_;
+    OdpsTable odps_;
+    std::uint64_t next_id_ = 1;
+    std::uint64_t sessions_run_ = 0;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_CLUSTER_MASTER_H

@@ -1,0 +1,75 @@
+#include "cluster/storage.h"
+
+#include "util/logging.h"
+
+namespace exist {
+
+void
+ObjectStore::put(const std::string &key, std::vector<std::uint8_t> bytes)
+{
+    auto it = objects_.find(key);
+    if (it != objects_.end()) {
+        total_bytes_ -= it->second.size();
+        it->second = std::move(bytes);
+        total_bytes_ += it->second.size();
+    } else {
+        total_bytes_ += bytes.size();
+        objects_.emplace(key, std::move(bytes));
+    }
+}
+
+bool
+ObjectStore::exists(const std::string &key) const
+{
+    return objects_.count(key) > 0;
+}
+
+const std::vector<std::uint8_t> &
+ObjectStore::get(const std::string &key) const
+{
+    auto it = objects_.find(key);
+    EXIST_ASSERT(it != objects_.end(), "no such object '%s'",
+                 key.c_str());
+    return it->second;
+}
+
+std::vector<std::string>
+ObjectStore::listPrefix(const std::string &prefix) const
+{
+    std::vector<std::string> keys;
+    for (auto it = objects_.lower_bound(prefix); it != objects_.end();
+         ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        keys.push_back(it->first);
+    }
+    return keys;
+}
+
+void
+OdpsTable::insert(TraceRow row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::vector<const TraceRow *>
+OdpsTable::queryApp(const std::string &app) const
+{
+    std::vector<const TraceRow *> out;
+    for (const auto &r : rows_)
+        if (r.app == app)
+            out.push_back(&r);
+    return out;
+}
+
+std::vector<const TraceRow *>
+OdpsTable::queryRequest(std::uint64_t request_id) const
+{
+    std::vector<const TraceRow *> out;
+    for (const auto &r : rows_)
+        if (r.request_id == request_id)
+            out.push_back(&r);
+    return out;
+}
+
+}  // namespace exist

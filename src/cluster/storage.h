@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Data-path backends of the cluster deployment (paper §4): traced
+ * packet data is uploaded to an unstructured object store (OSS) rather
+ * than kept on the node; the software decoder reads trace objects and
+ * binaries from there and writes structured results to an ODPS-style
+ * table store that users query for analysis.
+ */
+#ifndef EXIST_CLUSTER_STORAGE_H
+#define EXIST_CLUSTER_STORAGE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace exist {
+
+/** Unstructured object storage (OSS mock). */
+class ObjectStore
+{
+  public:
+    void put(const std::string &key, std::vector<std::uint8_t> bytes);
+    bool exists(const std::string &key) const;
+    const std::vector<std::uint8_t> &get(const std::string &key) const;
+    std::vector<std::string> listPrefix(const std::string &prefix) const;
+    std::uint64_t totalBytes() const { return total_bytes_; }
+    std::size_t objectCount() const { return objects_.size(); }
+
+  private:
+    std::map<std::string, std::vector<std::uint8_t>> objects_;
+    std::uint64_t total_bytes_ = 0;
+};
+
+/** One decoded-trace row in the structured store. */
+struct TraceRow {
+    std::string app;
+    NodeId node = kInvalidId;
+    std::uint64_t request_id = 0;
+    Cycles period = 0;
+    std::uint64_t decoded_branches = 0;
+    double accuracy = 0.0;
+    std::vector<std::uint64_t> function_insns;
+    std::vector<std::uint64_t> function_entries;
+};
+
+/** Structured result storage (ODPS mock) with query-by-app. */
+class OdpsTable
+{
+  public:
+    void insert(TraceRow row);
+    std::vector<const TraceRow *> queryApp(const std::string &app) const;
+    std::vector<const TraceRow *>
+    queryRequest(std::uint64_t request_id) const;
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<TraceRow> rows_;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_CLUSTER_STORAGE_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The EXIST node-level tracing backend: UMA plans the buffers, OTC
+ * runs the minimal-control tracing session, and the result is the
+ * structured trace output (per-core packet buffers + the five-tuple
+ * context-switch sidecar) that the offline decoder consumes.
+ */
+#ifndef EXIST_CORE_EXIST_BACKEND_H
+#define EXIST_CORE_EXIST_BACKEND_H
+
+#include <vector>
+
+#include "baselines/backend.h"
+#include "core/otc.h"
+#include "core/uma.h"
+
+namespace exist {
+
+class ExistBackend final : public TracerBackend
+{
+  public:
+    std::string name() const override { return "EXIST"; }
+    void start(Kernel &kernel, const SessionSpec &spec) override;
+    void stop(Kernel &kernel) override;
+    bool active() const override { return otc_.active(); }
+    BackendStats stats() const override;
+    std::vector<CollectedTrace> collect() override;
+    bool producesInstructionTrace() const override { return true; }
+
+    const UmaPlan &plan() const { return plan_; }
+    const OperationAwareController &controller() const { return otc_; }
+
+    /** Five-tuple context-switch sidecar captured with the session. */
+    const std::vector<SwitchRecord> &switchLog() const
+    {
+        return switch_log_;
+    }
+
+  private:
+    Kernel *kernel_ = nullptr;
+    OperationAwareController otc_;
+    UmaPlan plan_;
+    std::vector<SwitchRecord> switch_log_;
+    bool collected_log_ = false;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_CORE_EXIST_BACKEND_H

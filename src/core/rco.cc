@@ -1,0 +1,83 @@
+#include "core/rco.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace exist {
+
+double
+RepetitionAwareCoverageOptimizer::complexity(const AppDeployment &d) const
+{
+    // Binary size normalized on a log scale: 1 MB -> 0, 1 GB -> 1.
+    double mb = static_cast<double>(d.binary_bytes) / (1024.0 * 1024.0);
+    double size_term =
+        std::clamp(std::log10(std::max(mb, 1.0)) / 3.0, 0.0, 1.0);
+    double incident_term =
+        std::min(static_cast<double>(d.past_incidents), 10.0) / 10.0;
+    double c = cfg_.w_priority * std::clamp(d.priority, 0.0, 1.0) +
+               cfg_.w_size * size_term +
+               cfg_.w_incidents * incident_term;
+    double wsum = cfg_.w_priority + cfg_.w_size + cfg_.w_incidents;
+    return wsum > 0 ? c / wsum : 0.0;
+}
+
+Cycles
+RepetitionAwareCoverageOptimizer::decidePeriod(const AppDeployment &d) const
+{
+    double c = complexity(d);
+    auto period = static_cast<Cycles>(
+        static_cast<double>(cfg_.min_period) +
+        c * static_cast<double>(cfg_.max_period - cfg_.min_period));
+    // Jointly bound by the measured reference overhead: if tracing this
+    // app costs more than the budget, shorten the period accordingly.
+    if (d.reference_overhead > cfg_.overhead_budget) {
+        double shrink = cfg_.overhead_budget / d.reference_overhead;
+        period = std::max(
+            cfg_.min_period,
+            static_cast<Cycles>(static_cast<double>(period) * shrink));
+    }
+    return std::clamp(period, cfg_.min_period, cfg_.max_period);
+}
+
+int
+RepetitionAwareCoverageOptimizer::decideRepetitions(
+    const AppDeployment &d) const
+{
+    if (d.anomaly)
+        return d.replicas;  // abnormal behaviour is distinct: trace all
+    // Density x priority scaled fraction; broader deployments and
+    // higher priorities get more repetitions.
+    double density = std::log2(std::max(1.0,
+        static_cast<double>(d.replicas)));
+    double frac = cfg_.max_profile_fraction *
+                  std::clamp(d.priority, 0.0, 1.0) *
+                  std::min(1.0, density / 6.0 + 0.3);
+    int n = static_cast<int>(
+        std::ceil(frac * static_cast<double>(d.replicas)));
+    n = std::max(n, cfg_.deployment_threshold);
+    return std::min(n, d.replicas);
+}
+
+std::vector<int>
+RepetitionAwareCoverageOptimizer::selectWorkers(const AppDeployment &d,
+                                                Rng &rng) const
+{
+    int n = decideRepetitions(d);
+    std::vector<int> all(static_cast<std::size_t>(d.replicas));
+    for (int i = 0; i < d.replicas; ++i)
+        all[static_cast<std::size_t>(i)] = i;
+    // Partial Fisher-Yates for an unbiased sample.
+    for (int i = 0; i < n; ++i) {
+        auto j = static_cast<std::size_t>(
+            i + static_cast<int>(rng.uniformInt(
+                    static_cast<std::uint64_t>(d.replicas - i))));
+        std::swap(all[static_cast<std::size_t>(i)], all[j]);
+    }
+    all.resize(static_cast<std::size_t>(n));
+    std::sort(all.begin(), all.end());
+    return all;
+}
+
+}  // namespace exist

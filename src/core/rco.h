@@ -1,0 +1,83 @@
+/**
+ * @file
+ * RCO — Repetition-aware Coverage Optimizer (paper §3.4). Cluster-level
+ * policy over application metadata:
+ *
+ *  - The temporal decider picks a tracing period from a weighted sum of
+ *    complexity factors: operator-defined priority, binary size, and
+ *    the number of previous stability issues.
+ *  - The spatial sampler picks which repetitions (replicas) to trace:
+ *    all of them for anomaly requests; a density- and priority-scaled
+ *    fraction for routine profiling, with a deployment threshold
+ *    guaranteeing observation of single-replica applications.
+ */
+#ifndef EXIST_CORE_RCO_H
+#define EXIST_CORE_RCO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace exist {
+
+/** Cluster-visible metadata of one deployed application. */
+struct AppDeployment {
+    std::string app;
+    double priority = 0.5;           ///< [0,1]
+    std::uint64_t binary_bytes = 0;
+    int past_incidents = 0;
+    int replicas = 1;
+    /** True when the request was triggered by a detected anomaly. */
+    bool anomaly = false;
+    /** Measured reference monitoring overhead (fraction), fed back from
+     *  previous sessions to bound the tracing settings. */
+    double reference_overhead = 0.001;
+};
+
+struct RcoConfig {
+    double w_priority = 0.4;
+    double w_size = 0.3;
+    double w_incidents = 0.3;
+    Cycles min_period = secondsToCycles(0.1);
+    Cycles max_period = secondsToCycles(2.0);
+    /** Node overhead ceiling; periods shrink if the reference overhead
+     *  exceeds it. */
+    double overhead_budget = 0.002;
+    /** Minimum repetitions traced regardless of policy. */
+    int deployment_threshold = 1;
+    /** Profiling fraction of replicas at priority 1.0. */
+    double max_profile_fraction = 0.5;
+};
+
+class RepetitionAwareCoverageOptimizer
+{
+  public:
+    explicit RepetitionAwareCoverageOptimizer(RcoConfig cfg = {})
+        : cfg_(cfg)
+    {
+    }
+
+    /** Application complexity in [0,1] (temporal decider input). */
+    double complexity(const AppDeployment &d) const;
+
+    /** Temporal decider: tracing period for this application. */
+    Cycles decidePeriod(const AppDeployment &d) const;
+
+    /** Spatial sampler: how many repetitions to trace. */
+    int decideRepetitions(const AppDeployment &d) const;
+
+    /** Pick the concrete worker indices (0..replicas-1) to trace. */
+    std::vector<int> selectWorkers(const AppDeployment &d, Rng &rng) const;
+
+    const RcoConfig &config() const { return cfg_; }
+
+  private:
+    RcoConfig cfg_;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_CORE_RCO_H

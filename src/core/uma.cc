@@ -1,0 +1,127 @@
+#include "core/uma.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace exist {
+
+namespace {
+
+constexpr std::uint64_t kMb = 1024ull * 1024;
+
+std::uint64_t
+clampBytes(double bytes, const UmaConfig &cfg)
+{
+    double lo = static_cast<double>(cfg.min_core_buffer_mb * kMb);
+    double hi = static_cast<double>(cfg.max_core_buffer_mb * kMb);
+    return static_cast<std::uint64_t>(std::clamp(bytes, lo, hi));
+}
+
+}  // namespace
+
+UmaPlan
+UsageAwareMemoryAllocator::plan(const Kernel &kernel,
+                                const Process &target,
+                                const UmaConfig &cfg)
+{
+    UmaPlan plan;
+    const std::vector<CoreId> &mcs = target.allowedCores();
+    plan.mapped_cores = mcs.size();
+    EXIST_ASSERT(!mcs.empty(), "target process has no mapped cores");
+
+    const double budget =
+        static_cast<double>(cfg.budget_mb * kMb);
+
+    if (target.profile().provision == ProvisionMode::kCpuSet) {
+        // MCS == TCS: equal split of the budget across the set.
+        double per_core = budget / static_cast<double>(mcs.size());
+        for (CoreId c : mcs)
+            plan.allocations.push_back(
+                CoreAllocation{c, clampBytes(per_core, cfg)});
+    } else {
+        // CPU-share: sample the TCS.
+        double ratio = cfg.sample_ratio > 0.0 ? cfg.sample_ratio
+                                              : kDefaultShareRatio;
+        std::size_t want = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::ceil(ratio * static_cast<double>(mcs.size()))));
+        want = std::min(want, mcs.size());
+
+        // Utilization estimate per mapped core (busy fraction so far).
+        Cycles now = std::max<Cycles>(kernel.now(), 1);
+        std::vector<std::pair<CoreId, double>> util;
+        util.reserve(mcs.size());
+        for (CoreId c : mcs) {
+            double u = static_cast<double>(kernel.coreBusyCycles(c)) /
+                       static_cast<double>(now);
+            util.emplace_back(c, std::min(u, 1.0));
+        }
+
+        // Compulsory members: cores currently running the target.
+        std::vector<CoreId> tcs;
+        auto contains = [&tcs](CoreId c) {
+            return std::find(tcs.begin(), tcs.end(), c) != tcs.end();
+        };
+        for (CoreId c : mcs) {
+            const Thread *t = kernel.runningOn(c);
+            if (t && t->process().pid() == target.pid() && !contains(c))
+                tcs.push_back(c);
+        }
+        // Recently-used cores of the target's threads.
+        for (const Thread *t : target.threads()) {
+            CoreId c = t->lastCore();
+            if (tcs.size() >= want)
+                break;
+            if (c != kInvalidId && !contains(c) &&
+                std::find(mcs.begin(), mcs.end(), c) != mcs.end())
+                tcs.push_back(c);
+        }
+        // Fill the rest with randomly selected cores biased toward low
+        // utilization (empirically more likely to be scheduled into).
+        Rng rng(cfg.seed);
+        std::vector<std::pair<CoreId, double>> rest;
+        for (auto &[c, u] : util)
+            if (!contains(c))
+                rest.emplace_back(c, u);
+        std::sort(rest.begin(), rest.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second < b.second;
+                  });
+        std::size_t idx = 0;
+        while (tcs.size() < want && idx < rest.size()) {
+            // Take from the low-utilization half preferentially.
+            std::size_t pick =
+                rng.bernoulli(0.75)
+                    ? idx
+                    : idx + rng.uniformInt(rest.size() - idx);
+            std::swap(rest[idx], rest[pick]);
+            tcs.push_back(rest[idx].first);
+            ++idx;
+        }
+
+        // Buffer sizes: inversely proportional to utilization.
+        double wsum = 0.0;
+        std::vector<double> weights(tcs.size());
+        for (std::size_t i = 0; i < tcs.size(); ++i) {
+            double u = 0.0;
+            for (auto &[c, uu] : util)
+                if (c == tcs[i])
+                    u = uu;
+            weights[i] = 1.1 - u;
+            wsum += weights[i];
+        }
+        for (std::size_t i = 0; i < tcs.size(); ++i) {
+            double bytes = budget * weights[i] / wsum;
+            plan.allocations.push_back(
+                CoreAllocation{tcs[i], clampBytes(bytes, cfg)});
+        }
+    }
+
+    for (const auto &a : plan.allocations)
+        plan.total_real_bytes += a.real_bytes;
+    return plan;
+}
+
+}  // namespace exist

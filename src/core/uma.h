@@ -1,0 +1,61 @@
+/**
+ * @file
+ * UMA — Usage-aware Memory Allocator (paper §3.3). Decides, at tracing
+ * start, which cores get trace buffers (the Traced Core Set) and how
+ * big each per-core buffer is, given the node facility's memory budget
+ * and the target pod's provisioning mode:
+ *
+ *  - CPU-set pods: TCS = mapped core set, budget split equally.
+ *  - CPU-share pods: a core sampler picks the cores currently running
+ *    the target plus randomly selected cores biased toward low
+ *    utilization; lower-utilization cores (more likely to be scheduled
+ *    into) receive bigger buffers.
+ */
+#ifndef EXIST_CORE_UMA_H
+#define EXIST_CORE_UMA_H
+
+#include <cstdint>
+#include <vector>
+
+#include "os/kernel.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace exist {
+
+struct UmaConfig {
+    std::uint64_t budget_mb = 500;
+    std::uint64_t min_core_buffer_mb = 4;
+    std::uint64_t max_core_buffer_mb = 128;
+    /** Fraction of the mapped core set to trace for CPU-share pods;
+     *  0 selects the policy default. */
+    double sample_ratio = 0.0;
+    std::uint64_t seed = 0x5eed;
+};
+
+/** One per-core buffer decision. */
+struct CoreAllocation {
+    CoreId core = kInvalidId;
+    std::uint64_t real_bytes = 0;
+};
+
+struct UmaPlan {
+    std::vector<CoreAllocation> allocations;
+    std::uint64_t total_real_bytes = 0;
+    std::size_t mapped_cores = 0;  ///< |MCS| for reporting
+};
+
+class UsageAwareMemoryAllocator
+{
+  public:
+    /** Build an allocation plan for tracing `target` on `kernel` now. */
+    static UmaPlan plan(const Kernel &kernel, const Process &target,
+                        const UmaConfig &cfg);
+
+    /** Default CPU-share sampling ratio. */
+    static constexpr double kDefaultShareRatio = 0.5;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_CORE_UMA_H

@@ -1,0 +1,244 @@
+#include "decode/flow_reconstructor.h"
+
+#include <deque>
+
+#include "decode/packet_parser.h"
+#include "util/logging.h"
+#include "workload/branch.h"
+
+namespace exist {
+
+/*
+ * A property of the real hardware this decoder must honour: the tracer
+ * buffers up to six conditional outcomes before emitting a TNT packet,
+ * while TIP packets are emitted immediately — so a TIP can appear in
+ * the byte stream *before* TNT bits describing earlier branches.
+ * Per-kind order is exact, though, so the decoder (like libipt) keeps
+ * separate FIFO queues of pending TNT bits and TIP targets and pulls
+ * from whichever the current block's terminator requires. PacketEn
+ * boundaries flush pending TNT bits, so queues drain at PGD.
+ */
+DecodedTrace
+FlowReconstructor::decode(const std::uint8_t *data, std::size_t size) const
+{
+    DecodedTrace out;
+    out.function_insns.assign(prog_->numFunctions(), 0);
+    out.function_entries.assign(prog_->numFunctions(), 0);
+
+    PacketParser parser(data, size);
+
+    std::uint32_t cur = kNoBlock;
+    Cycles time = 0;
+    bool segment_open = false;
+    bool after_resync = false;
+    bool at_syscall = false;  ///< waiting for the PGD/PGE pair
+    DecodedSegment seg;
+    std::deque<bool> tnt_queue;
+    std::deque<std::uint64_t> tip_queue;
+
+    auto openSegment = [&](std::uint64_t offset) {
+        seg = DecodedSegment{};
+        seg.start_time = time;
+        seg.first_offset = offset;
+        segment_open = true;
+    };
+
+    std::uint32_t resume_hint = kNoBlock;
+    // Blocks visited since the last packet-consuming transition: the
+    // decoder reaches them by statically walking ahead of the last
+    // encoded branch, so a PGD may land "behind" them and the matching
+    // PGE re-enter one of them without re-execution having happened in
+    // between. Resuming must not re-visit them.
+    std::vector<std::uint32_t> static_tail;
+    std::vector<std::uint32_t> saved_tail;
+
+    auto closeSegment = [&]() {
+        if (segment_open) {
+            seg.end_time = time;
+            out.segments.push_back(seg);
+            segment_open = false;
+        }
+        resume_hint = cur;
+        saved_tail = static_tail;
+        cur = kNoBlock;
+        at_syscall = false;
+        // Unconsumed queue entries at a boundary indicate loss.
+        out.decode_errors += tnt_queue.size() + tip_queue.size();
+        tnt_queue.clear();
+        tip_queue.clear();
+    };
+
+    auto visit = [&](std::uint32_t block) {
+        const BasicBlock &b = prog_->block(block);
+        out.insns_decoded += b.insns;
+        out.function_insns[b.function_id] += b.insns;
+        if (prog_->function(b.function_id).entry_block == block)
+            ++out.function_entries[b.function_id];
+        if (opts_.record_path)
+            out.block_path.push_back(block);
+    };
+
+    auto transition = [&](std::uint32_t next, bool from_packet) {
+        cur = next;
+        visit(cur);
+        ++out.branches_decoded;
+        ++seg.branches;
+        if (from_packet)
+            static_tail.clear();
+        // Keep only a short window: this is the resume-disambiguation
+        // set, and an overly long one mistakes a different thread's
+        // PGE (same CR3, per-core multiplexing) for a static-overshoot
+        // resume, which desynchronizes decode far more than the
+        // duplicate visits a false fresh-open costs.
+        if (static_tail.size() < 12)
+            static_tail.push_back(next);
+    };
+
+    // Replay as far as the queued packets allow.
+    auto drain = [&]() {
+        while (cur != kNoBlock &&
+               out.branches_decoded < opts_.max_branches) {
+            const BasicBlock &b = prog_->block(cur);
+            switch (b.kind) {
+              case BranchKind::kDirectJump:
+              case BranchKind::kDirectCall:
+                transition(b.target0, /*from_packet=*/false);
+                continue;
+              case BranchKind::kConditional: {
+                if (tnt_queue.empty())
+                    return;
+                bool taken = tnt_queue.front();
+                tnt_queue.pop_front();
+                ++out.tnt_bits_consumed;
+                transition(taken ? b.target0 : b.target1,
+                           /*from_packet=*/true);
+                continue;
+              }
+              case BranchKind::kIndirectJump:
+              case BranchKind::kIndirectCall:
+              case BranchKind::kReturn: {
+                if (tip_queue.empty())
+                    return;
+                std::uint64_t ip = tip_queue.front();
+                tip_queue.pop_front();
+                ++out.tips_consumed;
+                std::uint32_t nb = prog_->blockAtAddress(ip);
+                if (nb == kNoBlock) {
+                    ++out.decode_errors;
+                    closeSegment();
+                    return;
+                }
+                transition(nb, /*from_packet=*/true);
+                continue;
+              }
+              case BranchKind::kSyscall:
+                // The tracer emits PGD here and PGE at kernel return;
+                // hold position until those arrive.
+                at_syscall = true;
+                return;
+            }
+        }
+    };
+
+    Packet pkt;
+    while (parser.next(pkt) &&
+           out.branches_decoded < opts_.max_branches) {
+        switch (pkt.op) {
+          case PacketOp::kExt:
+            if (pkt.value == kExtPsb)
+                after_resync = parser.resyncCount() > 0;
+            break;
+          case PacketOp::kTsc:
+            time = pkt.value;
+            break;
+          case PacketOp::kCyc:
+            time += pkt.value;
+            break;
+          case PacketOp::kTipPge: {
+            std::uint32_t b = prog_->blockAtAddress(pkt.value);
+            if (b == kNoBlock) {
+                ++out.decode_errors;
+                break;
+            }
+            if (at_syscall && segment_open && cur != kNoBlock) {
+                // Kernel return: continue the current segment at the
+                // syscall continuation.
+                at_syscall = false;
+                transition(b, /*from_packet=*/true);
+                drain();
+                break;
+            }
+            if (segment_open)
+                closeSegment();
+            openSegment(parser.offset());
+            // When execution resumes where — or statically behind
+            // where — the previous segment's decode stopped, the
+            // blocks from b to resume_hint were already visited by the
+            // static walk that outran the encoded branches; re-visiting
+            // them would duplicate path entries. Resume in place.
+            bool in_tail = b == resume_hint;
+            for (std::uint32_t tb : saved_tail)
+                in_tail = in_tail || tb == b;
+            if (in_tail && resume_hint != kNoBlock) {
+                cur = resume_hint;
+                static_tail = saved_tail;
+            } else {
+                cur = b;
+                static_tail.clear();
+                static_tail.push_back(b);
+                visit(cur);
+            }
+            drain();
+            break;
+          }
+          case PacketOp::kTipPgd:
+            if (at_syscall) {
+                // Expected filter exit at syscall entry: keep the
+                // segment open; the matching PGE resumes it.
+                break;
+            }
+            closeSegment();
+            break;
+          case PacketOp::kTnt6:
+            for (int i = 0; i < pkt.tnt_count; ++i)
+                tnt_queue.push_back(((pkt.tnt_bits >> i) & 1) != 0);
+            drain();
+            break;
+          case PacketOp::kTip:
+            tip_queue.push_back(pkt.value);
+            drain();
+            break;
+          case PacketOp::kFup:
+            // After a mid-stream resync (ring wrap), the FUP inside
+            // the PSB block is the decoder's re-entry point.
+            if (after_resync && !segment_open && pkt.value != 0) {
+                std::uint32_t b = prog_->blockAtAddress(pkt.value);
+                if (b != kNoBlock) {
+                    openSegment(parser.offset());
+                    cur = b;
+                    visit(cur);
+                    drain();
+                }
+                after_resync = false;
+            }
+            break;
+          case PacketOp::kOvf:
+            ++out.decode_errors;
+            closeSegment();
+            break;
+          case PacketOp::kPtw:
+            out.ptwrites.emplace_back(time, pkt.value);
+            break;
+          case PacketOp::kPip:
+          case PacketOp::kMode:
+          case PacketOp::kPad:
+          case PacketOp::kTntPartial:
+            break;
+        }
+    }
+    closeSegment();
+    out.resyncs = parser.resyncCount();
+    return out;
+}
+
+}  // namespace exist

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Execution-flow reconstruction: replays the program binary against the
+ * packet stream, following statically-resolvable transfers from the
+ * binary, consuming TNT bits at conditionals and TIP targets at
+ * indirect transfers. This is the software-decoder stage of the paper's
+ * pipeline (libipt equivalent) that turns per-core packet bytes back
+ * into human-readable application behaviour.
+ */
+#ifndef EXIST_DECODE_FLOW_RECONSTRUCTOR_H
+#define EXIST_DECODE_FLOW_RECONSTRUCTOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+#include "workload/program.h"
+
+namespace exist {
+
+/** A contiguous decoded span of execution (between PGE and PGD). */
+struct DecodedSegment {
+    Cycles start_time = 0;  ///< from TSC/CYC packets, approximate
+    Cycles end_time = 0;
+    std::uint64_t first_offset = 0;  ///< byte offset where it began
+    std::uint64_t branches = 0;      ///< block transitions decoded
+};
+
+/** The reconstruction result for one core's trace buffer. */
+struct DecodedTrace {
+    std::vector<DecodedSegment> segments;
+
+    /** Block transitions decoded in total (== sum over segments). */
+    std::uint64_t branches_decoded = 0;
+    /** Instructions attributed (sum of insns of visited blocks). */
+    std::uint64_t insns_decoded = 0;
+
+    /** Per-function visit-instruction counts (index = function id). */
+    std::vector<std::uint64_t> function_insns;
+    /** Per-function entry counts (calls decoded into the function). */
+    std::vector<std::uint64_t> function_entries;
+    /** Optional full block path (only filled when record_path). */
+    std::vector<std::uint32_t> block_path;
+
+    /** PTWRITE payloads in stream order with their timestamps
+     *  (SS6.1 data-flow enhancement). */
+    std::vector<std::pair<Cycles, std::uint64_t>> ptwrites;
+
+    std::uint64_t tnt_bits_consumed = 0;
+    std::uint64_t tips_consumed = 0;
+    std::uint64_t decode_errors = 0;
+    std::uint64_t resyncs = 0;
+};
+
+/** Options for reconstruction. */
+struct DecodeOptions {
+    /** Record the full block path (memory-heavy; used by tests and the
+     *  accuracy analysis, not by overhead experiments). */
+    bool record_path = false;
+    /** Safety valve for pathological inputs. */
+    std::uint64_t max_branches = 400'000'000;
+};
+
+/**
+ * Reconstructor bound to one binary (the paper's decoder fetches the
+ * binary from a repository keyed by the traced application).
+ */
+class FlowReconstructor
+{
+  public:
+    explicit FlowReconstructor(const ProgramBinary *prog,
+                               DecodeOptions opts = {})
+        : prog_(prog), opts_(opts)
+    {
+    }
+
+    /** Decode one core's trace bytes. */
+    DecodedTrace decode(const std::uint8_t *data, std::size_t size) const;
+
+    DecodedTrace
+    decode(const std::vector<std::uint8_t> &bytes) const
+    {
+        return decode(bytes.data(), bytes.size());
+    }
+
+  private:
+    const ProgramBinary *prog_;
+    DecodeOptions opts_;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_DECODE_FLOW_RECONSTRUCTOR_H

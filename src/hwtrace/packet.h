@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Trace packet vocabulary of the modelled hardware tracer.
+ *
+ * The format is Intel-PT-inspired rather than bit-exact: the packet
+ * *kinds*, their trigger conditions and their sizes follow the IPT
+ * architecture (SDM vol. 3 ch. 33), because those are what EXIST's
+ * design decisions depend on — TNT bits for conditionals, TIP packets
+ * with last-IP compression for indirect transfers, PSB sync points every
+ * 4 KiB, PGE/PGD for filter boundaries, CYC/TSC for timing, OVF for
+ * loss. The exact bit layout is simplified to an opcode byte plus
+ * payload so the decoder stays readable.
+ */
+#ifndef EXIST_HWTRACE_PACKET_H
+#define EXIST_HWTRACE_PACKET_H
+
+#include <cstdint>
+
+namespace exist {
+
+/**
+ * A model core runs at 250 MHz (util/types.h) but stands for a 2+ GHz
+ * production core; each simulated branch therefore represents
+ * kTraceByteScale branches of the real machine for *data volume*
+ * purposes. Buffer capacities are configured in real MB and divided by
+ * this scale internally; reported space multiplies back. Time overheads
+ * per byte are charged on model bytes with costs scaled accordingly, so
+ * all ratios are invariant.
+ */
+inline constexpr std::uint64_t kTraceByteScale = 16;
+
+/** Packet opcodes (first byte unless stated otherwise). */
+enum class PacketOp : std::uint8_t {
+    kPad = 0x00,       ///< alignment filler
+    kTntPartial = 0x01,///< 2 bytes: count(3b)|bits(6b in next byte)
+    kExt = 0x02,       ///< extension prefix: PSB / PSBEND
+    kTip = 0x03,       ///< indirect target: len byte + address bytes
+    kTipPge = 0x04,    ///< packet generation enable (filter entry)
+    kTipPgd = 0x05,    ///< packet generation disable (filter exit)
+    kFup = 0x06,       ///< flow update (source IP at async event)
+    kPip = 0x07,       ///< CR3 change: 5 payload bytes
+    kMode = 0x08,      ///< execution mode: 1 payload byte
+    kTsc = 0x09,       ///< timestamp: 7 payload bytes
+    kCyc = 0x0a,       ///< cycle delta: varint payload
+    kOvf = 0x0b,       ///< overflow marker
+    kPtw = 0x0c,       ///< PTWRITE data value: 1 len byte + payload
+    kTnt6 = 0x80,      ///< 1 byte: 0b10xxxxxx, six TNT bits
+};
+
+/** Second byte after kExt. */
+inline constexpr std::uint8_t kExtPsb = 0x82;
+inline constexpr std::uint8_t kExtPsbEnd = 0x23;
+
+/** PSB is the 2-byte ext sequence repeated 8 times (16 bytes). */
+inline constexpr int kPsbRepeat = 8;
+inline constexpr std::uint64_t kPsbPeriodBytes = 4096;
+
+/** Statistics kept per tracer, by packet class. */
+struct PacketStats {
+    std::uint64_t tnt_packets = 0;
+    std::uint64_t tnt_bits = 0;
+    std::uint64_t tip_packets = 0;
+    std::uint64_t pge_packets = 0;
+    std::uint64_t pgd_packets = 0;
+    std::uint64_t fup_packets = 0;
+    std::uint64_t pip_packets = 0;
+    std::uint64_t tsc_packets = 0;
+    std::uint64_t cyc_packets = 0;
+    std::uint64_t psb_packets = 0;
+    std::uint64_t ovf_packets = 0;
+    std::uint64_t ptw_packets = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return tnt_packets + tip_packets + pge_packets + pgd_packets +
+               fup_packets + pip_packets + tsc_packets + cyc_packets +
+               psb_packets + ovf_packets + ptw_packets;
+    }
+};
+
+}  // namespace exist
+
+#endif  // EXIST_HWTRACE_PACKET_H

@@ -1,0 +1,224 @@
+#include "hwtrace/packet_writer.h"
+
+namespace exist {
+
+void
+PacketWriter::resetState(Cycles now)
+{
+    tnt_bits_ = 0;
+    tnt_count_ = 0;
+    last_ip_ = 0;
+    last_cyc_ = now;
+    bytes_since_psb_ = 0;
+    in_psb_ = false;
+}
+
+void
+PacketWriter::emit(const std::uint8_t *bytes, std::uint64_t n)
+{
+    TopaWriteResult r = out_->write(bytes, n);
+    bytes_since_psb_ += r.accepted;
+    events_.pmis += r.pmis_fired;
+    if (r.stopped_now)
+        events_.stopped = true;
+}
+
+void
+PacketWriter::maybePsb(Cycles now)
+{
+    if (in_psb_ || bytes_since_psb_ < kPsbPeriodBytes)
+        return;
+    in_psb_ = true;
+    // Pending TNT bits describe branches before this sync point; they
+    // must not leak past it, or a decoder entering at the PSB would
+    // misapply them (flushTnt's own maybePsb is a no-op: in_psb_).
+    flushTnt(now);
+    std::uint8_t psb[2 * kPsbRepeat];
+    for (int i = 0; i < kPsbRepeat; ++i) {
+        psb[2 * i] = static_cast<std::uint8_t>(PacketOp::kExt);
+        psb[2 * i + 1] = kExtPsb;
+    }
+    emit(psb, sizeof(psb));
+    ++stats_.psb_packets;
+    if (tsc_en_)
+        tscPacket(now);
+    // FUP with the current IP so a decoder can sync mid-stream. IP
+    // compression resets across a PSB on both sides (the parser cannot
+    // carry state over a sync point it may have jumped to), so the FUP
+    // carries the full address.
+    last_ip_ = 0;
+    ipPayload(static_cast<std::uint8_t>(PacketOp::kFup), current_ip_,
+              now);
+    ++stats_.fup_packets;
+    std::uint8_t psbend[2] = {static_cast<std::uint8_t>(PacketOp::kExt),
+                              kExtPsbEnd};
+    emit(psbend, sizeof(psbend));
+    bytes_since_psb_ = 0;
+    in_psb_ = false;
+}
+
+void
+PacketWriter::cycPacket(Cycles now)
+{
+    if (!cyc_en_)
+        return;
+    std::uint64_t delta = now - last_cyc_;
+    last_cyc_ = now;
+    std::uint8_t buf[1 + 10];
+    buf[0] = static_cast<std::uint8_t>(PacketOp::kCyc);
+    std::uint64_t i = 1;
+    do {
+        std::uint8_t b = delta & 0x7f;
+        delta >>= 7;
+        if (delta)
+            b |= 0x80;
+        buf[i++] = b;
+    } while (delta);
+    emit(buf, i);
+    ++stats_.cyc_packets;
+}
+
+void
+PacketWriter::tscPacket(Cycles now)
+{
+    std::uint8_t buf[8];
+    buf[0] = static_cast<std::uint8_t>(PacketOp::kTsc);
+    for (int i = 0; i < 7; ++i)
+        buf[1 + i] = static_cast<std::uint8_t>(now >> (8 * i));
+    emit(buf, sizeof(buf));
+    ++stats_.tsc_packets;
+}
+
+void
+PacketWriter::ipPayload(std::uint8_t op, std::uint64_t ip, Cycles now)
+{
+    maybePsb(now);
+    // Last-IP compression: 0, 2, 4 or 8 low-order bytes.
+    int len;
+    std::uint64_t diff = ip ^ last_ip_;
+    if (diff == 0)
+        len = 0;
+    else if ((diff >> 16) == 0)
+        len = 2;
+    else if ((diff >> 32) == 0)
+        len = 4;
+    else
+        len = 8;
+    std::uint8_t buf[2 + 8];
+    buf[0] = op;
+    buf[1] = static_cast<std::uint8_t>(len);
+    for (int i = 0; i < len; ++i)
+        buf[2 + i] = static_cast<std::uint8_t>(ip >> (8 * i));
+    emit(buf, static_cast<std::uint64_t>(2 + len));
+    last_ip_ = ip;
+}
+
+void
+PacketWriter::tnt(bool taken, Cycles now)
+{
+    // Check the sync cadence before accumulating: a PSB flushes the
+    // bits gathered so far, and the new bit then belongs to the
+    // post-PSB stream.
+    maybePsb(now);
+    tnt_bits_ |= static_cast<std::uint8_t>(taken ? 1 : 0) << tnt_count_;
+    ++tnt_count_;
+    ++stats_.tnt_bits;
+    if (tnt_count_ == 6) {
+        cycPacket(now);
+        std::uint8_t b = static_cast<std::uint8_t>(
+            static_cast<std::uint8_t>(PacketOp::kTnt6) | tnt_bits_);
+        emit(&b, 1);
+        ++stats_.tnt_packets;
+        tnt_bits_ = 0;
+        tnt_count_ = 0;
+    }
+}
+
+void
+PacketWriter::flushTnt(Cycles now)
+{
+    if (tnt_count_ == 0)
+        return;
+    maybePsb(now);
+    // A full 6-bit group is always emitted as kTnt6, so tnt_count_ is
+    // 1..5 here: count goes in the high 3 bits, bits in the low 5.
+    std::uint8_t buf[2];
+    buf[0] = static_cast<std::uint8_t>(PacketOp::kTntPartial);
+    buf[1] = static_cast<std::uint8_t>(
+        (static_cast<std::uint8_t>(tnt_count_) << 5) | (tnt_bits_ & 0x1f));
+    emit(buf, 2);
+    ++stats_.tnt_packets;
+    tnt_bits_ = 0;
+    tnt_count_ = 0;
+}
+
+void
+PacketWriter::tip(std::uint64_t ip, Cycles now)
+{
+    cycPacket(now);
+    ipPayload(static_cast<std::uint8_t>(PacketOp::kTip), ip, now);
+    ++stats_.tip_packets;
+}
+
+void
+PacketWriter::pge(std::uint64_t ip, Cycles now)
+{
+    current_ip_ = ip;
+    cycPacket(now);
+    ipPayload(static_cast<std::uint8_t>(PacketOp::kTipPge), ip, now);
+    ++stats_.pge_packets;
+}
+
+void
+PacketWriter::pgd(Cycles now)
+{
+    flushTnt(now);
+    cycPacket(now);
+    std::uint8_t buf[2] = {static_cast<std::uint8_t>(PacketOp::kTipPgd),
+                           0};
+    emit(buf, 2);
+    ++stats_.pgd_packets;
+}
+
+void
+PacketWriter::pip(std::uint64_t cr3)
+{
+    std::uint8_t buf[6];
+    buf[0] = static_cast<std::uint8_t>(PacketOp::kPip);
+    for (int i = 0; i < 5; ++i)
+        buf[1 + i] = static_cast<std::uint8_t>(cr3 >> (8 * i));
+    emit(buf, sizeof(buf));
+    ++stats_.pip_packets;
+}
+
+void
+PacketWriter::ovf()
+{
+    std::uint8_t b = static_cast<std::uint8_t>(PacketOp::kOvf);
+    emit(&b, 1);
+    ++stats_.ovf_packets;
+}
+
+void
+PacketWriter::ptw(std::uint64_t value, Cycles now)
+{
+    maybePsb(now);
+    cycPacket(now);
+    std::uint8_t buf[2 + 8];
+    buf[0] = static_cast<std::uint8_t>(PacketOp::kPtw);
+    buf[1] = 8;
+    for (int i = 0; i < 8; ++i)
+        buf[2 + i] = static_cast<std::uint8_t>(value >> (8 * i));
+    emit(buf, sizeof(buf));
+    ++stats_.ptw_packets;
+}
+
+WriterEvents
+PacketWriter::takeEvents()
+{
+    WriterEvents e = events_;
+    events_ = WriterEvents{};
+    return e;
+}
+
+}  // namespace exist

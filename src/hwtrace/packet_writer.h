@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Packet generation logic: turns retired-branch notifications into the
+ * byte stream written to the ToPA output. Keeps the encoder-side state
+ * that gives IPT its compactness — pending TNT bits (six conditional
+ * outcomes per byte), last-IP compression for TIP payloads, cycle
+ * reference for CYC deltas, and the PSB sync-point cadence.
+ */
+#ifndef EXIST_HWTRACE_PACKET_WRITER_H
+#define EXIST_HWTRACE_PACKET_WRITER_H
+
+#include <cstdint>
+
+#include "hwtrace/packet.h"
+#include "hwtrace/topa.h"
+#include "util/types.h"
+
+namespace exist {
+
+/** Accumulated side effects of packet emission since last collection. */
+struct WriterEvents {
+    int pmis = 0;
+    bool stopped = false;
+};
+
+/** Encoder front-end writing into a TopaBuffer. */
+class PacketWriter
+{
+  public:
+    explicit PacketWriter(TopaBuffer *out) : out_(out) {}
+
+    /** Rebind the output buffer (per-thread buffer swap). */
+    void setOutput(TopaBuffer *out) { out_ = out; }
+
+    /** Re-arm for a new tracing session (packet state, not the buffer). */
+    void resetState(Cycles now);
+
+    /** Enable CYC packet generation. */
+    void setCycEnabled(bool on) { cyc_en_ = on; }
+    /** Enable TSC packets at sync points. */
+    void setTscEnabled(bool on) { tsc_en_ = on; }
+
+    /**
+     * Record where execution currently stands (the target of the last
+     * fully-emitted branch). The PSB sync point embeds this in its FUP
+     * so a decoder entering mid-stream (ring wrap) resumes exactly
+     * where the post-PSB packets apply.
+     */
+    void setCurrentIp(std::uint64_t ip) { current_ip_ = ip; }
+
+    /** One conditional-branch outcome. */
+    void tnt(bool taken, Cycles now);
+    /** Indirect transfer to `ip`. */
+    void tip(std::uint64_t ip, Cycles now);
+    /** Packet generation enable at `ip` (filter entry / sched-in). */
+    void pge(std::uint64_t ip, Cycles now);
+    /** Packet generation disable (filter exit / syscall entry). */
+    void pgd(Cycles now);
+    /** CR3 change notification. */
+    void pip(std::uint64_t cr3);
+    /** Overflow marker. */
+    void ovf();
+    /** PTWRITE payload: software-chosen data value in the trace (the
+     *  paper's SS6.1 data-flow enhancement). */
+    void ptw(std::uint64_t value, Cycles now);
+    /** Flush a partial TNT byte (done at disable). */
+    void flushTnt(Cycles now);
+
+    const PacketStats &stats() const { return stats_; }
+
+    /** Collect and clear pending PMI/stop notifications. */
+    WriterEvents takeEvents();
+
+  private:
+    void emit(const std::uint8_t *bytes, std::uint64_t n);
+    void maybePsb(Cycles now);
+    void cycPacket(Cycles now);
+    void tscPacket(Cycles now);
+    void ipPayload(std::uint8_t op, std::uint64_t ip, Cycles now);
+
+    TopaBuffer *out_;
+    bool cyc_en_ = true;
+    bool tsc_en_ = true;
+
+    std::uint8_t tnt_bits_ = 0;
+    int tnt_count_ = 0;
+    std::uint64_t last_ip_ = 0;
+    std::uint64_t current_ip_ = 0;
+    Cycles last_cyc_ = 0;
+    std::uint64_t bytes_since_psb_ = 0;
+    bool in_psb_ = false;  ///< guard against PSB recursion
+
+    PacketStats stats_;
+    WriterEvents events_;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_HWTRACE_PACKET_WRITER_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The calibrated cost model (DESIGN.md §6). Every tracing-related
+ * operation the paper identifies as a source of overhead has an explicit
+ * cost constant here; the *structure* — who pays it and how often — is
+ * what the simulation reproduces. Constants are order-of-magnitude
+ * figures from the SDM, perf documentation and the paper itself.
+ */
+#ifndef EXIST_OS_COSTS_H
+#define EXIST_OS_COSTS_H
+
+#include "util/types.h"
+
+namespace exist::costs {
+
+/** Direct cost of a context switch (state save/restore + runqueue). */
+inline constexpr Cycles kContextSwitch = usToCycles(3.0);
+
+/** Extra indirect cost when a thread migrates across cores (cache
+ *  warm-up, paid gradually but charged up front). */
+inline constexpr Cycles kMigrationPenalty = usToCycles(6.0);
+
+/** A perf statistical-sampling interrupt: PMI + stack unwind + store.
+ *  At -F 3999 this yields the ~3% overhead the paper measures. */
+inline constexpr Cycles kSamplingInterrupt = usToCycles(8.0);
+
+/** One eBPF tracepoint hit (sys_enter): probe dispatch, map update and
+ *  the amortized bpftrace userspace processing. */
+inline constexpr Cycles kEbpfProbe = usToCycles(3.0);
+
+/** Base in-kernel syscall path (enter + exit), excluding service time
+ *  modelled by the application profile. */
+inline constexpr Cycles kSyscallBase = usToCycles(0.4);
+
+/** PMI taken when an INT-marked ToPA region fills (perf aux wakeup). */
+inline constexpr Cycles kAuxPmi = usToCycles(30.0);
+
+/** perf's per-byte cost to move aux data to userspace and perf.data:
+ *  copy + file write, in cycles per *model* byte (a model byte stands
+ *  for kTraceByteScale real bytes). */
+inline constexpr double kAuxDumpPerModelByte = 0.45;
+
+/**
+ * CPI tax while the local tracer emits packets through write-back
+ * memory (the perf/NHT configuration): trace stores compete with the
+ * application in the cache hierarchy.
+ */
+inline constexpr double kTraceTaxWriteBack = 0.035;
+
+/**
+ * CPI tax with cache-bypass output buffers (EXIST's configuration,
+ * paper §3.3): only residual bandwidth sharing remains — this is the
+ * "digit-level" native overhead of the hardware feature.
+ */
+inline constexpr double kTraceTaxBypass = 0.008;
+
+/**
+ * LLC pollution experienced by *other* cores per active write-back
+ * tracer on the node, scaled by each profile's llc_sensitivity
+ * (normalized to a 0.03 baseline).
+ */
+inline constexpr double kTracePollutionWeight = 0.35;
+
+/** Scheduler timeslice (CFS-ish granularity under overcommit). */
+inline constexpr Cycles kQuantum = usToCycles(1000.0);
+
+/** Extra LLC misses of the traced thread while its trace is written
+ *  through write-back memory (fractional inflation). */
+inline constexpr double kTraceLlcMissInflation = 0.05;
+
+/** Upper bound on one core-execution slice between event-queue visits
+ *  (simulation fidelity knob, not a modelled cost). */
+inline constexpr Cycles kMaxSlice = usToCycles(50.0);
+
+/** One-way network latency between services (same DC). */
+inline constexpr Cycles kRpcNetLatency = usToCycles(60.0);
+
+/** Kernel-module load (insmod) one-time cost, paper Fig. 17. */
+inline constexpr Cycles kInsmodCost = usToCycles(45'000.0);
+
+}  // namespace exist::costs
+
+#endif  // EXIST_OS_COSTS_H

@@ -1,0 +1,132 @@
+#include "os/service.h"
+
+#include <cmath>
+
+#include "os/costs.h"
+#include "util/logging.h"
+
+namespace exist {
+
+Service::Service(Kernel *kernel, Process *proc, std::uint64_t seed)
+    : kernel_(kernel), proc_(proc), rng_(seed)
+{
+    const AppProfile &p = proc->profile();
+    double cv = std::max(p.demand_cv, 0.01);
+    double sigma2 = std::log(1.0 + cv * cv);
+    demand_sigma_ = std::sqrt(sigma2);
+    demand_mu_ = std::log(std::max(p.demand_mean_insns, 1.0)) - sigma2 / 2;
+}
+
+Service::~Service() = default;
+
+double
+Service::drawDemand()
+{
+    return rng_.lognormal(demand_mu_, demand_sigma_);
+}
+
+void
+Service::spawnWorkers(int n)
+{
+    for (int i = 0; i < n; ++i) {
+        Thread *t = kernel_->createThread(proc_, this);
+        workers_.push_back(t);
+        idle_.push_back(t);
+    }
+}
+
+void
+Service::submit(Cycles now, RequestDone done)
+{
+    auto job = std::make_unique<Job>();
+    job->done = std::move(done);
+    job->rpcs_left = 0;
+    if (downstream_) {
+        job->rpcs_left = rpcs_override_ >= 0
+                             ? rpcs_override_
+                             : proc_->profile().downstream_rpcs;
+    }
+
+    if (!idle_.empty()) {
+        Thread *w = idle_.front();
+        idle_.pop_front();
+        attach(w, std::move(job), now);
+    } else {
+        pending_.push_back(std::move(job));
+    }
+}
+
+void
+Service::attach(Thread *w, std::unique_ptr<Job> job, Cycles now)
+{
+    (void)now;
+    active_[w->tid()] = std::move(job);
+    w->assignWork(drawDemand());
+    kernel_->wakeThread(w);
+}
+
+void
+Service::finish(Thread *w, Job &job, Cycles now)
+{
+    if (job.done)
+        job.done(now);
+    ++completed_;
+    active_.erase(w->tid());
+
+    if (!pending_.empty()) {
+        auto next = std::move(pending_.front());
+        pending_.pop_front();
+        // Reuse this (running) worker directly: assign and continue.
+        active_[w->tid()] = std::move(next);
+        w->assignWork(drawDemand());
+    } else {
+        idle_.push_back(w);
+    }
+}
+
+bool
+Service::onWorkExhausted(Thread &t, Cycles now)
+{
+    auto it = active_.find(t.tid());
+    if (it == active_.end()) {
+        // Spurious wake without a job (e.g. service being torn down).
+        return false;
+    }
+    Job &job = *it->second;
+
+    if (job.rpcs_left > 0 && downstream_) {
+        --job.rpcs_left;
+        Thread *w = &t;
+        // Synchronous RPC: the worker blocks until the response returns
+        // over the "network".
+        kernel_->queue().scheduleAfter(costs::kRpcNetLatency, [this, w] {
+            Cycles snow = kernel_->now();
+            downstream_->submit(snow, [this, w](Cycles done_time) {
+                kernel_->queue().schedule(
+                    done_time + costs::kRpcNetLatency, [this, w] {
+                        onRpcResponse(w, kernel_->now());
+                    });
+            });
+        });
+        return false;  // block awaiting the response
+    }
+
+    // Request complete. finish() may assign the next pending job to
+    // this worker, in which case it keeps running.
+    finish(&t, job, now);
+    return active_.find(t.tid()) != active_.end();
+}
+
+void
+Service::onRpcResponse(Thread *w, Cycles now)
+{
+    auto it = active_.find(w->tid());
+    if (it == active_.end())
+        return;
+    // Post-RPC continuation work before the next RPC or the reply.
+    w->assignWork(std::max(200.0, drawDemand() * 0.15));
+    (void)now;
+    kernel_->wakeThread(w);
+}
+
+}  // namespace exist

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Request-driven service runtime on top of the kernel: worker threads
+ * pull requests from a queue, execute a stochastic service demand
+ * through the program model, optionally issue synchronous RPCs to a
+ * downstream service, and reply. This is the substrate for the online
+ * benchmarks (mc/ng/ms), the cloud applications (Search/Cache/Pred/
+ * Agent) and the DeathStarBench-like chains of Figures 3b and 16.
+ */
+#ifndef EXIST_OS_SERVICE_H
+#define EXIST_OS_SERVICE_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "os/kernel.h"
+#include "os/task.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace exist {
+
+/** Completion callback: invoked with the completion time. */
+using RequestDone = std::function<void(Cycles)>;
+
+class Service : public ThreadDriver
+{
+  public:
+    /**
+     * Create a service around an existing process. Demand parameters
+     * come from the process's application profile.
+     */
+    Service(Kernel *kernel, Process *proc, std::uint64_t seed);
+    ~Service() override;
+
+    /** Spawn n worker threads driven by this service. */
+    void spawnWorkers(int n);
+
+    /** Wire a downstream dependency; each request issues
+     *  profile().downstream_rpcs sequential RPCs to it (or the value
+     *  set by setRpcsPerRequest). */
+    void setDownstream(Service *s) { downstream_ = s; }
+
+    /** Override the per-request RPC count (-1 = profile default).
+     *  Lets one profile play different roles in different chains. */
+    void setRpcsPerRequest(int n) { rpcs_override_ = n; }
+
+    /** Enqueue one request. */
+    void submit(Cycles now, RequestDone done);
+
+    // ThreadDriver:
+    bool onWorkExhausted(Thread &t, Cycles now) override;
+
+    Process &process() { return *proc_; }
+    const std::vector<Thread *> &workers() const { return workers_; }
+    std::uint64_t completedCount() const { return completed_; }
+    std::size_t queueDepth() const { return pending_.size(); }
+
+  private:
+    struct Job {
+        RequestDone done;
+        int rpcs_left = 0;
+    };
+
+    double drawDemand();
+    void attach(Thread *w, std::unique_ptr<Job> job, Cycles now);
+    void onRpcResponse(Thread *w, Cycles now);
+    void finish(Thread *w, Job &job, Cycles now);
+
+    Kernel *kernel_;
+    Process *proc_;
+    Rng rng_;
+    double demand_mu_ = 0.0;
+    double demand_sigma_ = 0.0;
+    Service *downstream_ = nullptr;
+    int rpcs_override_ = -1;
+
+    std::deque<std::unique_ptr<Job>> pending_;
+    std::unordered_map<ThreadId, std::unique_ptr<Job>> active_;
+    std::vector<Thread *> workers_;
+    std::deque<Thread *> idle_;
+    std::uint64_t completed_ = 0;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_OS_SERVICE_H

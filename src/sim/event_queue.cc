@@ -1,0 +1,71 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+namespace exist {
+
+bool
+EventQueue::isCancelled(EventId id)
+{
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+    if (it == cancelled_.end())
+        return false;
+    *it = cancelled_.back();
+    cancelled_.pop_back();
+    return true;
+}
+
+void
+EventQueue::popDead()
+{
+    while (!heap_.empty() && isCancelled(heap_.top().id)) {
+        heap_.pop();
+        --live_;
+    }
+}
+
+Cycles
+EventQueue::nextTime()
+{
+    popDead();
+    return heap_.empty() ? kMaxTime : heap_.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    popDead();
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; the callback must be moved out
+    // before pop, so copy the entry (callbacks are cheap shared state).
+    Entry e = heap_.top();
+    heap_.pop();
+    --live_;
+    EXIST_ASSERT(e.when >= now_, "event queue time went backwards");
+    now_ = e.when;
+    e.cb();
+    return true;
+}
+
+void
+EventQueue::runUntil(Cycles until)
+{
+    while (true) {
+        Cycles next = nextTime();
+        if (next == kMaxTime || next > until)
+            break;
+        step();
+    }
+    if (now_ < until)
+        now_ = until;
+}
+
+void
+EventQueue::run()
+{
+    while (step()) {
+    }
+}
+
+}  // namespace exist

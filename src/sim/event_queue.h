@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Discrete-event engine for the EXIST node simulation.
+ *
+ * The queue orders callbacks by (time, insertion sequence), so events
+ * scheduled for the same cycle fire in FIFO order, which keeps the
+ * simulation deterministic.
+ */
+#ifndef EXIST_SIM_EVENT_QUEUE_H
+#define EXIST_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/types.h"
+
+namespace exist {
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+/**
+ * Time-ordered queue of callbacks. A thin core that higher layers (the
+ * OS kernel, load generators, the cluster master) schedule against.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current virtual time. */
+    Cycles now() const { return now_; }
+
+    /** Schedule a callback at absolute time `when` (>= now). */
+    EventId
+    schedule(Cycles when, Callback cb)
+    {
+        EXIST_ASSERT(when >= now_, "scheduling into the past: %llu < %llu",
+                     (unsigned long long)when, (unsigned long long)now_);
+        EventId id = ++next_id_;
+        heap_.push(Entry{when, id, std::move(cb)});
+        ++live_;
+        return id;
+    }
+
+    /** Schedule a callback `delay` cycles from now. */
+    EventId
+    scheduleAfter(Cycles delay, Callback cb)
+    {
+        return schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Cancel an event; a no-op if it has already fired. */
+    void
+    cancel(EventId id)
+    {
+        if (id != kInvalidEvent)
+            cancelled_.push_back(id);
+    }
+
+    /** True when no live events remain. */
+    bool empty() const { return live_ == 0; }
+
+    /** Time of the next pending event (kMaxTime when empty). */
+    Cycles nextTime();
+
+    /** Fire a single event; returns false if the queue is empty. */
+    bool step();
+
+    /** Run until the queue drains or time reaches `until`. */
+    void runUntil(Cycles until);
+
+    /** Run until the queue drains. */
+    void run();
+
+    static constexpr Cycles kMaxTime = ~Cycles{0};
+
+  private:
+    struct Entry {
+        Cycles when;
+        EventId id;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : id > o.id;
+        }
+    };
+
+    bool isCancelled(EventId id);
+    void popDead();
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::vector<EventId> cancelled_;
+    Cycles now_ = 0;
+    EventId next_id_ = kInvalidEvent;
+    std::size_t live_ = 0;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_SIM_EVENT_QUEUE_H

@@ -1,0 +1,61 @@
+#include "util/logging.h"
+
+#include <cstdarg>
+
+namespace exist {
+
+namespace {
+int g_verbosity = 1;
+}  // namespace
+
+int
+logVerbosity()
+{
+    return g_verbosity;
+}
+
+void
+setLogVerbosity(int level)
+{
+    g_verbosity = level;
+}
+
+namespace detail {
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<size_t>(n));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+    }
+    va_end(args);
+    return out;
+}
+
+void
+message(const char *kind, int min_level, const std::string &msg)
+{
+    if (g_verbosity >= min_level)
+        std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+}
+
+void
+terminate(const char *kind, const std::string &msg, const char *file,
+          int line, bool core_dump)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(), file, line);
+    if (core_dump)
+        std::abort();
+    std::exit(1);
+}
+
+}  // namespace detail
+}  // namespace exist

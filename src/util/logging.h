@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers, following the gem5
+ * fatal/panic idiom: fatal() is for user errors (bad configuration),
+ * panic() is for internal invariant violations (a bug in this library).
+ */
+#ifndef EXIST_UTIL_LOGGING_H
+#define EXIST_UTIL_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace exist {
+
+/** Verbosity level for inform()/warn(); 0 silences both. */
+int logVerbosity();
+
+/** Set global log verbosity (0 = quiet, 1 = warn, 2 = inform). */
+void setLogVerbosity(int level);
+
+namespace detail {
+
+[[noreturn]] void terminate(const char *kind, const std::string &msg,
+                            const char *file, int line, bool core_dump);
+
+void message(const char *kind, int min_level, const std::string &msg);
+
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace detail
+
+/** Informational message for the user; printed at verbosity >= 2. */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    detail::message("info", 2, detail::format(fmt, args...));
+}
+
+/** Warning about suspicious but non-fatal conditions; verbosity >= 1. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    detail::message("warn", 1, detail::format(fmt, args...));
+}
+
+/** Terminate because of a user error (bad config, invalid argument). */
+#define EXIST_FATAL(...)                                                  \
+    ::exist::detail::terminate("fatal", ::exist::detail::format(__VA_ARGS__), \
+                               __FILE__, __LINE__, false)
+
+/** Terminate because of an internal bug (invariant violation). */
+#define EXIST_PANIC(...)                                                  \
+    ::exist::detail::terminate("panic", ::exist::detail::format(__VA_ARGS__), \
+                               __FILE__, __LINE__, true)
+
+/** Assert an internal invariant with a formatted message. */
+#define EXIST_ASSERT(cond, ...)                                           \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            EXIST_PANIC(__VA_ARGS__);                                     \
+    } while (0)
+
+}  // namespace exist
+
+#endif  // EXIST_UTIL_LOGGING_H

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * We implement xoshiro256** seeded through splitmix64 rather than using
+ * std::mt19937 so that streams are cheap to fork (every thread, workload
+ * and node gets an independent, reproducible stream derived from a
+ * top-level experiment seed).
+ */
+#ifndef EXIST_UTIL_RNG_H
+#define EXIST_UTIL_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace exist {
+
+/** splitmix64 step, used for seeding and stream splitting. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator. Small, fast, and forkable: fork(tag) derives an
+ * independent stream, so sub-components never perturb each other's
+ * randomness when the experiment configuration changes.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t
+    uniformInt(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+            uniformInt(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Exponentially distributed value with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * std::log(u);
+    }
+
+    /** Standard normal via Box-Muller (one value per call). */
+    double
+    normal(double mean = 0.0, double stddev = 1.0)
+    {
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 <= 0.0)
+            u1 = 0x1.0p-53;
+        double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(6.28318530717958647692 * u2);
+        return mean + stddev * z;
+    }
+
+    /** Lognormal with the given *underlying* normal mu/sigma. */
+    double
+    lognormal(double mu, double sigma)
+    {
+        return std::exp(normal(mu, sigma));
+    }
+
+    /** Derive an independent child stream for a tagged sub-component. */
+    Rng
+    fork(std::uint64_t tag)
+    {
+        std::uint64_t sm = next() ^ (tag * 0xd1342543de82ef95ULL);
+        return Rng(splitmix64(sm));
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+}  // namespace exist
+
+#endif  // EXIST_UTIL_RNG_H

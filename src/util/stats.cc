@@ -1,0 +1,172 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace exist {
+
+void
+RunningStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Samples::sort() const
+{
+    if (!sorted_) {
+        std::sort(values_.begin(), values_.end());
+        sorted_ = true;
+    }
+}
+
+double
+Samples::mean() const
+{
+    return values_.empty() ? 0.0 : sum() / static_cast<double>(count());
+}
+
+double
+Samples::sum() const
+{
+    double s = 0.0;
+    for (double v : values_)
+        s += v;
+    return s;
+}
+
+double
+Samples::min() const
+{
+    sort();
+    return values_.empty() ? 0.0 : values_.front();
+}
+
+double
+Samples::max() const
+{
+    sort();
+    return values_.empty() ? 0.0 : values_.back();
+}
+
+double
+Samples::percentile(double p) const
+{
+    EXIST_ASSERT(p >= 0.0 && p <= 100.0, "percentile %f out of range", p);
+    if (values_.empty())
+        return 0.0;
+    sort();
+    if (values_.size() == 1)
+        return values_[0];
+    double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+    auto lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, values_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return values_[lo] + frac * (values_[hi] - values_[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    EXIST_ASSERT(hi > lo && buckets > 0, "bad histogram bounds");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((x - lo_) / width_);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+        ++counts_[idx];
+    }
+}
+
+double
+Histogram::bucketLow(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::bucketHigh(std::size_t i) const
+{
+    return bucketLow(i) + width_;
+}
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples))
+{
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double
+Cdf::at(double x) const
+{
+    if (sorted_.empty())
+        return 0.0;
+    auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) /
+           static_cast<double>(sorted_.size());
+}
+
+double
+Cdf::quantile(double q) const
+{
+    EXIST_ASSERT(q >= 0.0 && q <= 1.0, "quantile %f out of range", q);
+    if (sorted_.empty())
+        return 0.0;
+    auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted_.size() - 1));
+    return sorted_[idx];
+}
+
+std::string
+Cdf::toTable(double lo, double hi, int points) const
+{
+    EXIST_ASSERT(lo > 0.0 && hi > lo && points > 1, "bad CDF grid");
+    std::string out;
+    double log_lo = std::log10(lo);
+    double log_hi = std::log10(hi);
+    for (int i = 0; i < points; ++i) {
+        double x = std::pow(
+            10.0, log_lo + (log_hi - log_lo) * i /
+                      static_cast<double>(points - 1));
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%12.6g %8.4f\n", x, at(x));
+        out += buf;
+    }
+    return out;
+}
+
+}  // namespace exist

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Statistics helpers used throughout the harness: running moments,
+ * percentile extraction, histograms and empirical CDFs.
+ */
+#ifndef EXIST_UTIL_STATS_H
+#define EXIST_UTIL_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace exist {
+
+/** Welford running mean/variance accumulator. */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Sample reservoir with percentile queries. Keeps all samples; intended
+ * for per-experiment latency distributions (at most a few million values).
+ */
+class Samples
+{
+  public:
+    void add(double x) { values_.push_back(x); sorted_ = false; }
+    void reserve(std::size_t n) { values_.reserve(n); }
+
+    std::size_t count() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+    double mean() const;
+    double sum() const;
+    double min() const;
+    double max() const;
+
+    /** Percentile in [0, 100] using linear interpolation. */
+    double percentile(double p) const;
+
+    const std::vector<double> &values() const { return values_; }
+
+  private:
+    void sort() const;
+
+    mutable std::vector<double> values_;
+    mutable bool sorted_ = false;
+};
+
+/** Fixed-bucket histogram over [lo, hi) with overflow buckets. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double x);
+
+    std::size_t bucketCount() const { return counts_.size(); }
+    std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+    double bucketLow(std::size_t i) const;
+    double bucketHigh(std::size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Empirical cumulative distribution function built from samples.
+ * Used to reproduce the paper's Figure 8 (context-switch period CDF).
+ */
+class Cdf
+{
+  public:
+    explicit Cdf(std::vector<double> samples);
+
+    /** Fraction of samples <= x. */
+    double at(double x) const;
+
+    /** Value at the given quantile q in [0, 1]. */
+    double quantile(double q) const;
+
+    std::size_t count() const { return sorted_.size(); }
+
+    /** Render as "x f(x)" rows over a log-spaced grid (for plotting). */
+    std::string toTable(double lo, double hi, int points) const;
+
+  private:
+    std::vector<double> sorted_;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_UTIL_STATS_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fundamental time and identifier types for the EXIST simulation.
+ *
+ * The simulator keeps virtual time in CPU cycles of a fixed-frequency
+ * model clock. All overhead numbers reported by the benchmark harness are
+ * ratios of virtual times, so the absolute frequency only sets the scale
+ * of the simulation (how many block-level events one virtual second
+ * costs), not the reproduced results.
+ */
+#ifndef EXIST_UTIL_TYPES_H
+#define EXIST_UTIL_TYPES_H
+
+#include <cstdint>
+
+namespace exist {
+
+/** Virtual time, expressed in model CPU cycles. */
+using Cycles = std::uint64_t;
+
+/** Model clock frequency in cycles per virtual second.
+ *
+ * One model cycle stands for a fixed slice of real CPU work. The model
+ * core runs at 250 MHz; a production 2+ GHz core is represented by
+ * scaling trace-data volume (see hwtrace::kTraceByteScale) rather than by
+ * simulating 10x more branches. All reported overheads are time ratios
+ * and are invariant to this choice.
+ */
+inline constexpr Cycles kCyclesPerSecond = 250'000'000;
+inline constexpr Cycles kCyclesPerMs = kCyclesPerSecond / 1'000;
+inline constexpr Cycles kCyclesPerUs = kCyclesPerSecond / 1'000'000;
+
+/** Convert seconds (double) to model cycles. */
+constexpr Cycles
+secondsToCycles(double s)
+{
+    return static_cast<Cycles>(s * static_cast<double>(kCyclesPerSecond));
+}
+
+/** Convert model cycles to seconds. */
+constexpr double
+cyclesToSeconds(Cycles c)
+{
+    return static_cast<double>(c) / static_cast<double>(kCyclesPerSecond);
+}
+
+/** Convert microseconds to model cycles. */
+constexpr Cycles
+usToCycles(double us)
+{
+    return static_cast<Cycles>(us * static_cast<double>(kCyclesPerUs));
+}
+
+/** Convert model cycles to milliseconds. */
+constexpr double
+cyclesToMs(Cycles c)
+{
+    return static_cast<double>(c) / static_cast<double>(kCyclesPerMs);
+}
+
+/** Identifier types. Signed so that -1 can mean "invalid". */
+using CoreId = int;
+using ProcessId = int;
+using ThreadId = int;
+using NodeId = int;
+using PodId = int;
+
+inline constexpr int kInvalidId = -1;
+
+}  // namespace exist
+
+#endif  // EXIST_UTIL_TYPES_H

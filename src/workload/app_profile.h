@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Application profiles: the statistical "shape" of each evaluated
+ * workload. A profile drives both static program generation (the CFG a
+ * tracer sees) and runtime behaviour (CPI, syscall rate, threading,
+ * service demand). Profiles for the paper's workloads (Table 1) live in
+ * the catalog; they are calibrated so the benchmark harness reproduces
+ * the evaluation's shapes, not SPEC's absolute performance.
+ */
+#ifndef EXIST_WORKLOAD_APP_PROFILE_H
+#define EXIST_WORKLOAD_APP_PROFILE_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+#include "workload/function_category.h"
+
+namespace exist {
+
+/** CPU provisioning mode of a pod (paper §3.3). */
+enum class ProvisionMode : std::uint8_t {
+    kCpuSet,    ///< pinned exclusively to a small core set
+    kCpuShare,  ///< mapped to a large shared core pool
+};
+
+/** Memory-access width mix (fractions for widths 1, 2, 4, 8 bytes). */
+using WidthMix = std::array<double, 4>;
+
+/** Statistical description of one application. */
+struct AppProfile {
+    std::string name;
+    std::string description;
+
+    // --- Static program shape -----------------------------------------
+    int num_functions = 256;
+    int min_blocks_per_fn = 2;
+    int max_blocks_per_fn = 20;
+    double avg_insns_per_block = 48.0;
+
+    /** Terminator mix weights (normalized during generation). */
+    double w_cond = 0.58;
+    double w_djump = 0.05;
+    double w_dcall = 0.11;
+    double w_ijump = 0.03;
+    double w_icall = 0.03;
+    double w_ret = 0.20;
+
+    /** Mean probability that a conditional branch is taken. */
+    double taken_bias = 0.55;
+
+    // --- Runtime behaviour ---------------------------------------------
+    double base_cpi = 1.0;
+    int num_threads = 1;
+
+    /**
+     * Program-phase behaviour: real applications drift between phases
+     * (input batches, cache states, GC cycles), so two capture windows
+     * of the same service see different function mixes — the reason
+     * the paper scores real-world accuracy against a separately
+     * captured exhaustive reference. Phase length is in instructions;
+     * strength in [0,1] scales how far branch and dispatch
+     * distributions swing across a phase. 0 disables phases.
+     */
+    double phase_insns = 12e6;
+    double phase_strength = 0.35;
+
+    /** Syscalls per thousand retired instructions. */
+    double syscalls_per_kinsn = 0.002;
+    /** Fraction of syscalls that block the thread (I/O). */
+    double blocking_fraction = 0.05;
+    /** In-kernel service time of a non-blocking syscall (microseconds). */
+    double syscall_kernel_us = 1.2;
+    /** Mean blocked duration of a blocking syscall (microseconds). */
+    double blocking_io_us_mean = 150.0;
+
+    // --- Hardware event rates (per kilo-instruction, exclusive run) ----
+    double branch_miss_pki = 4.0;
+    double l1_miss_pki = 18.0;
+    double llc_miss_pki = 0.8;
+    /** CPI penalty factor per co-located busy thread sharing the LLC. */
+    double llc_sensitivity = 0.03;
+    /** CPI penalty factor when sharing a physical core (SMT sibling). */
+    double smt_sensitivity = 0.10;
+
+    // --- Service model (request-driven workloads) ----------------------
+    bool is_service = false;
+    /** Mean request service demand in instructions. */
+    double demand_mean_insns = 50'000.0;
+    /** Coefficient of variation of service demand (lognormal). */
+    double demand_cv = 0.8;
+    /** Downstream RPCs issued per request (0 for leaf services). */
+    int downstream_rpcs = 0;
+
+    // --- Case-study characterization (Figures 21 & 22) -----------------
+    /** Weight of each function category among generated functions. */
+    std::array<double, kNumFunctionCategories> category_weights{};
+    /** Memory accesses per kilo-instruction and width mixes. */
+    double mem_access_per_kinsn = 300.0;
+    double read_only_ratio = 0.55;
+    double write_only_ratio = 0.20;
+    WidthMix width_ro{0.25, 0.25, 0.35, 0.15};
+    WidthMix width_wo{0.30, 0.25, 0.30, 0.15};
+    WidthMix width_rw{0.25, 0.25, 0.30, 0.20};
+
+    // --- Cluster metadata (RCO temporal decider inputs, §3.4) ----------
+    ProvisionMode provision = ProvisionMode::kCpuSet;
+    double priority = 0.5;                   ///< [0,1], 1 = most critical
+    std::uint64_t binary_bytes = 24ull << 20;
+    int past_incidents = 0;
+
+    /** Sum of terminator weights (for normalization). */
+    double terminatorWeightSum() const;
+};
+
+/**
+ * Catalog of the paper's evaluated workloads (Table 1) plus the two
+ * extra case-study applications of §5.4 (Matching, Recommend).
+ */
+class AppCatalog
+{
+  public:
+    /** The ten SPEC CPU 2017 Integer stand-ins: pb gcc mcf om xa x264
+     *  de le ex xz. */
+    static std::vector<AppProfile> specSuite();
+
+    /** Online benchmarks: mc (memcached), ng (nginx), ms (mysql). */
+    static std::vector<AppProfile> onlineSuite();
+
+    /** Real-world cloud services: Search1 Search2 Cache Pred Agent. */
+    static std::vector<AppProfile> cloudSuite();
+
+    /** §5.4 case-study set: Search Cache Prediction Matching Recommend. */
+    static std::vector<AppProfile> caseStudySuite();
+
+    /** Look up any profile by name; fatal on unknown names. */
+    static AppProfile find(const std::string &name);
+
+    /** Names across all suites. */
+    static std::vector<std::string> allNames();
+};
+
+}  // namespace exist
+
+#endif  // EXIST_WORKLOAD_APP_PROFILE_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Function-category taxonomy used by the case-study analysis (paper
+ * Figure 21): memory operations, synchronization primitives and kernel
+ * operations, plus generic compute.
+ */
+#ifndef EXIST_WORKLOAD_FUNCTION_CATEGORY_H
+#define EXIST_WORKLOAD_FUNCTION_CATEGORY_H
+
+#include <array>
+#include <cstdint>
+
+namespace exist {
+
+/** Costly-function categories, following the paper's categorization. */
+enum class FunctionCategory : std::uint8_t {
+    kCompute,
+    // Memory operations (Figure 21a).
+    kMemJe,      ///< jemalloc-style allocator internals
+    kMemTc,      ///< tcmalloc-style allocator internals
+    kMemAlloc,
+    kMemFree,
+    kMemCopy,
+    kMemSet,
+    kMemCmp,
+    kMemMove,
+    // Synchronization (Figure 21b).
+    kSyncAtomic,
+    kSyncSpinlock,
+    kSyncMutex,
+    kSyncCas,
+    // Kernel operations (Figure 21c).
+    kKernelSche,
+    kKernelIrq,
+    kKernelNet,
+    kNumCategories,
+};
+
+inline constexpr std::size_t kNumFunctionCategories =
+    static_cast<std::size_t>(FunctionCategory::kNumCategories);
+
+inline const char *
+functionCategoryName(FunctionCategory c)
+{
+    static constexpr std::array<const char *, kNumFunctionCategories>
+        names = {
+            "COMPUTE",
+            "MEM_JE", "MEM_TC", "MEM_ALLOC", "MEM_FREE",
+            "MEM_COPY", "MEM_SET", "MEM_CMP", "MEM_MOVE",
+            "SYNC_ATOMIC", "SYNC_SPINLOCK", "SYNC_MUTEX", "SYNC_CAS",
+            "KERNEL_SCHE", "KERNEL_IRQ", "KERNEL_NET",
+        };
+    return names[static_cast<std::size_t>(c)];
+}
+
+inline constexpr bool
+isMemoryCategory(FunctionCategory c)
+{
+    return c >= FunctionCategory::kMemJe && c <= FunctionCategory::kMemMove;
+}
+
+inline constexpr bool
+isSyncCategory(FunctionCategory c)
+{
+    return c >= FunctionCategory::kSyncAtomic &&
+           c <= FunctionCategory::kSyncCas;
+}
+
+inline constexpr bool
+isKernelCategory(FunctionCategory c)
+{
+    return c >= FunctionCategory::kKernelSche &&
+           c <= FunctionCategory::kKernelNet;
+}
+
+}  // namespace exist
+
+#endif  // EXIST_WORKLOAD_FUNCTION_CATEGORY_H

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the analysis layer: accuracy metrics, profile
+ * merging, report rendering, and testbed plumbing.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/accuracy.h"
+#include "analysis/report.h"
+#include "analysis/testbed.h"
+
+namespace exist {
+namespace {
+
+TEST(CoverageAccuracy, ClampsAndHandlesZero)
+{
+    EXPECT_DOUBLE_EQ(coverageAccuracy(50, 100), 0.5);
+    EXPECT_DOUBLE_EQ(coverageAccuracy(150, 100), 1.0);
+    EXPECT_DOUBLE_EQ(coverageAccuracy(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(coverageAccuracy(5, 0), 0.0);
+    EXPECT_DOUBLE_EQ(coverageAccuracy(0, 10), 0.0);
+}
+
+TEST(WallAccuracy, IdenticalDistributionsScoreOne)
+{
+    std::vector<std::uint64_t> a = {10, 20, 30};
+    EXPECT_DOUBLE_EQ(wallWeightAccuracy(a, a), 1.0);
+    // Scale invariance: same distribution, different magnitude.
+    std::vector<std::uint64_t> b = {100, 200, 300};
+    EXPECT_NEAR(wallWeightAccuracy(a, b), 1.0, 1e-12);
+}
+
+TEST(WallAccuracy, DisjointDistributionsScoreZero)
+{
+    std::vector<std::uint64_t> a = {10, 0, 0};
+    std::vector<std::uint64_t> b = {0, 5, 5};
+    EXPECT_DOUBLE_EQ(wallWeightAccuracy(a, b), 0.0);
+}
+
+TEST(WallAccuracy, PartialOverlapInBetween)
+{
+    std::vector<std::uint64_t> a = {50, 50};
+    std::vector<std::uint64_t> b = {100, 0};
+    // L1 distance = |0.5-1| + |0.5-0| = 1 -> accuracy 0.5.
+    EXPECT_DOUBLE_EQ(wallWeightAccuracy(a, b), 0.5);
+}
+
+TEST(WallAccuracy, DifferentLengthsAndEmpties)
+{
+    std::vector<std::uint64_t> a = {10, 10};
+    std::vector<std::uint64_t> b = {10, 10, 0, 0};
+    EXPECT_NEAR(wallWeightAccuracy(a, b), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(wallWeightAccuracy({}, {}), 1.0);
+    EXPECT_DOUBLE_EQ(wallWeightAccuracy({1}, {}), 0.0);
+}
+
+TEST(MatchPath, ExactAndSubsequence)
+{
+    std::vector<std::uint32_t> truth = {1, 2, 3, 4, 5, 6};
+    PathMatch exact = matchPath(truth, truth);
+    EXPECT_DOUBLE_EQ(exact.precision, 1.0);
+    EXPECT_DOUBLE_EQ(exact.recall, 1.0);
+
+    PathMatch sub = matchPath({2, 4, 6}, truth);
+    EXPECT_DOUBLE_EQ(sub.precision, 1.0);
+    EXPECT_DOUBLE_EQ(sub.recall, 0.5);
+
+    PathMatch wrong = matchPath({9, 9, 9}, truth);
+    EXPECT_DOUBLE_EQ(wrong.precision, 0.0);
+
+    PathMatch empty = matchPath({}, truth);
+    EXPECT_DOUBLE_EQ(empty.precision, 1.0);
+    EXPECT_DOUBLE_EQ(empty.recall, 0.0);
+}
+
+TEST(MergeProfiles, SumsElementWiseAcrossLengths)
+{
+    std::vector<std::vector<std::uint64_t>> workers = {
+        {1, 2, 3}, {10, 0}, {0, 0, 0, 7}};
+    std::vector<std::uint64_t> merged = mergeFunctionProfiles(workers);
+    ASSERT_EQ(merged.size(), 4u);
+    EXPECT_EQ(merged[0], 11u);
+    EXPECT_EQ(merged[1], 2u);
+    EXPECT_EQ(merged[2], 3u);
+    EXPECT_EQ(merged[3], 7u);
+    EXPECT_TRUE(mergeFunctionProfiles({}).empty());
+}
+
+TEST(MergeProfiles, ComplementsMissingMass)
+{
+    // Worker 1 missed function 2 entirely; worker 2 missed function 0.
+    std::vector<std::uint64_t> truth = {100, 100, 100};
+    std::vector<std::uint64_t> w1 = {100, 100, 0};
+    std::vector<std::uint64_t> w2 = {0, 100, 100};
+    double single = wallWeightAccuracy(w1, truth);
+    double merged =
+        wallWeightAccuracy(mergeFunctionProfiles({w1, w2}), truth);
+    // merged = {100,200,100}: closer to uniform than either worker,
+    // though the doubly-seen middle function stays over-weighted.
+    EXPECT_GT(merged, single);
+    EXPECT_GT(merged, 0.8);
+}
+
+TEST(TableWriterTest, AlignsAndFormats)
+{
+    TableWriter t({"A", "LongHeader"});
+    t.row({"x", "1"});
+    t.row({"yyyy", "2"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("A     LongHeader"), std::string::npos);
+    EXPECT_NE(s.find("yyyy  2"), std::string::npos);
+    EXPECT_EQ(TableWriter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TableWriter::pct(0.123, 1), "12.3%");
+    EXPECT_EQ(TableWriter::mb(1024 * 1024, 1), "1.0");
+}
+
+TEST(TestbedTest, BinaryRepositoryIsStable)
+{
+    auto a = Testbed::binaryForApp("om");
+    auto b = Testbed::binaryForApp("om");
+    EXPECT_EQ(a.get(), b.get());  // cached
+    auto c = Testbed::binaryForApp("om", 123);
+    EXPECT_NE(a.get(), c.get());
+}
+
+TEST(TestbedTest, ResultLookupByName)
+{
+    ExperimentSpec spec;
+    spec.node.num_cores = 1;
+    spec.workloads.push_back(WorkloadSpec{.app = "ex", .target = true});
+    spec.session.period = secondsToCycles(0.01);
+    spec.warmup = secondsToCycles(0.005);
+    ExperimentResult r = Testbed::run(spec);
+    EXPECT_NE(r.find("ex"), nullptr);
+    EXPECT_EQ(r.find("nothere"), nullptr);
+    EXPECT_DEATH(r.at("nothere"), "no app result");
+}
+
+TEST(TestbedTest, EagerControlAblationCostsMoreOps)
+{
+    ExperimentSpec spec;
+    spec.node.num_cores = 1;
+    WorkloadSpec t{.app = "mc", .cores = {0}, .target = true,
+                   .closed_clients = 4};
+    spec.workloads.push_back(std::move(t));
+    WorkloadSpec bg{.app = "ex", .cores = {0}};
+    bg.workers = 1;
+    spec.workloads.push_back(std::move(bg));
+    spec.backend = "EXIST";
+    spec.session.period = secondsToCycles(0.1);
+
+    ExperimentResult once = Testbed::run(spec);
+    spec.session.exist_eager_control = true;
+    ExperimentResult eager = Testbed::run(spec);
+    EXPECT_LE(once.backend_stats.control_ops, 2u);
+    EXPECT_GT(eager.backend_stats.control_ops,
+              once.backend_stats.control_ops * 10);
+}
+
+}  // namespace
+}  // namespace exist

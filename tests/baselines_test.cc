@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Baseline backend tests: each scheme's instrumentation fires where it
+ * should, costs what it should, and produces its characteristic data.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/testbed.h"
+#include "baselines/ebpf.h"
+#include "baselines/nht.h"
+#include "baselines/oracle.h"
+#include "baselines/stasam.h"
+#include "decode/flow_reconstructor.h"
+#include "os/kernel.h"
+
+namespace exist {
+namespace {
+
+struct Rig {
+    Kernel kernel;
+    std::shared_ptr<const ProgramBinary> bin;
+    Process *proc;
+
+    explicit Rig(const char *app = "om", int cores = 2, int threads = 1)
+        : kernel(NodeConfig{.num_cores = cores, .seed = 13}),
+          bin(Testbed::binaryForApp(app)),
+          proc(kernel.createProcess(app, bin, {}))
+    {
+        for (int i = 0; i < threads; ++i)
+            kernel.startThread(kernel.createThread(proc, nullptr));
+        kernel.runFor(secondsToCycles(0.01));
+    }
+};
+
+TEST(Oracle, DoesNothing)
+{
+    Rig rig;
+    OracleBackend backend;
+    SessionSpec spec;
+    spec.target = rig.proc;
+    spec.period = secondsToCycles(0.02);
+    backend.start(rig.kernel, spec);
+    EXPECT_TRUE(backend.active());
+    rig.kernel.runFor(spec.period);
+    backend.stop(rig.kernel);
+    BackendStats s = backend.stats();
+    EXPECT_EQ(s.trace_real_bytes, 0u);
+    EXPECT_EQ(s.msr_writes, 0u);
+    EXPECT_FALSE(backend.producesInstructionTrace());
+}
+
+TEST(StaSam, SampleCountTracksFrequencyAndBusyCores)
+{
+    Rig rig("om", 2, 2);  // two busy cores
+    StaSamBackend backend;
+    SessionSpec spec;
+    spec.target = rig.proc;
+    spec.period = secondsToCycles(0.25);
+    backend.start(rig.kernel, spec);
+    rig.kernel.runFor(spec.period + secondsToCycles(0.01));
+    EXPECT_FALSE(backend.active());  // stopped itself at the period
+
+    // ~3999 Hz x 0.25 s x 2 busy cores.
+    double expected = 3999.0 * 0.25 * 2;
+    EXPECT_NEAR(static_cast<double>(backend.stats().samples), expected,
+                expected * 0.1);
+    EXPECT_EQ(backend.stats().trace_real_bytes,
+              backend.stats().samples * StaSamBackend::kBytesPerSample);
+    // The statistical profile covers the target's functions.
+    EXPECT_GT(backend.functionSamples().size(), 10u);
+}
+
+TEST(StaSam, IdleCoresTakeNoSamples)
+{
+    Rig rig("om", 4, 1);  // one busy, three idle cores
+    StaSamBackend backend;
+    SessionSpec spec;
+    spec.target = rig.proc;
+    spec.period = secondsToCycles(0.2);
+    backend.start(rig.kernel, spec);
+    rig.kernel.runFor(spec.period + secondsToCycles(0.01));
+    double expected = 3999.0 * 0.2;  // one busy core only
+    EXPECT_NEAR(static_cast<double>(backend.stats().samples), expected,
+                expected * 0.15);
+}
+
+TEST(Ebpf, CountsEverySyscallSystemWide)
+{
+    Rig rig("mc", 2, 2);
+    // Add a second, non-target process: eBPF's sys_enter is global.
+    Process *other =
+        rig.kernel.createProcess("ms", Testbed::binaryForApp("ms"), {});
+    rig.kernel.startThread(rig.kernel.createThread(other, nullptr));
+
+    EbpfBackend backend;
+    SessionSpec spec;
+    spec.target = rig.proc;
+    spec.period = secondsToCycles(0.1);
+    backend.start(rig.kernel, spec);
+    rig.kernel.runFor(spec.period + secondsToCycles(0.01));
+
+    TaskCounters total = rig.kernel.aggregateCounters();
+    // All syscalls during the window were probed (the window is a
+    // subset of the run, so probed <= total).
+    EXPECT_GT(backend.stats().probe_hits, 0u);
+    EXPECT_LE(backend.stats().probe_hits, total.syscalls);
+    EXPECT_GE(backend.targetEvents(), 1u);
+    EXPECT_LT(backend.targetEvents(), backend.stats().probe_hits);
+}
+
+TEST(Nht, ReconfiguresAtEverySwitch)
+{
+    // Overcommit one core so the target switches often.
+    Rig rig("om", 1, 2);
+    NhtBackend backend;
+    SessionSpec spec;
+    spec.target = rig.proc;
+    spec.period = secondsToCycles(0.2);
+    backend.start(rig.kernel, spec);
+    rig.kernel.runFor(spec.period + secondsToCycles(0.01));
+
+    BackendStats s = backend.stats();
+    // Both threads timeshare: ~200 quantum switches in 0.2 s, and each
+    // sched-in of a target thread is a full control sequence.
+    EXPECT_GT(s.control_ops, 100u);
+    // Each attach is a full disable/configure/enable MSR
+    // sequence; detaches add one more write.
+    EXPECT_GT(s.msr_writes, s.control_ops * 2);
+    EXPECT_GT(s.pmis, 0u);  // drains on switch-out
+    EXPECT_GT(s.trace_real_bytes, 1u << 20);
+}
+
+TEST(Nht, PerThreadDumpsDecodeCleanly)
+{
+    Rig rig("om", 1, 2);
+    NhtBackend backend;
+    SessionSpec spec;
+    spec.target = rig.proc;
+    spec.period = secondsToCycles(0.1);
+    backend.start(rig.kernel, spec);
+    rig.kernel.runFor(spec.period + secondsToCycles(0.01));
+    backend.stop(rig.kernel);
+
+    FlowReconstructor rec(rig.bin.get());
+    std::uint64_t branches = 0, errors = 0;
+    auto traces = backend.collect();
+    EXPECT_EQ(traces.size(), 2u);  // one dump per target thread
+    for (const CollectedTrace &ct : traces) {
+        ASSERT_NE(ct.thread, kInvalidId);
+        DecodedTrace dt = rec.decode(ct.bytes);
+        branches += dt.branches_decoded;
+        errors += dt.decode_errors;
+    }
+    EXPECT_GT(branches, 100'000u);
+    // Per-thread buffers drain at every switch-out: near-lossless.
+    EXPECT_LT(static_cast<double>(errors),
+              static_cast<double>(branches) * 0.01);
+}
+
+TEST(Nht, AuxSizeIsConfigurable)
+{
+    auto run = [](std::uint64_t aux_mb) {
+        Rig rig("om", 1, 1);
+        NhtBackend backend;
+        SessionSpec spec;
+        spec.target = rig.proc;
+        spec.period = secondsToCycles(0.1);
+        spec.nht_aux_mb = aux_mb;
+        backend.start(rig.kernel, spec);
+        rig.kernel.runFor(spec.period + secondsToCycles(0.01));
+        backend.stop(rig.kernel);
+        return backend.stats().pmis;
+    };
+    // Smaller aux buffers fill (and PMI) more often.
+    EXPECT_GT(run(1), run(16));
+}
+
+TEST(Backends, FactoryMakesAllAndRejectsUnknown)
+{
+    for (const char *name :
+         {"Oracle", "EXIST", "StaSam", "eBPF", "NHT"}) {
+        auto backend = Testbed::makeBackend(name);
+        ASSERT_NE(backend, nullptr);
+        EXPECT_EQ(backend->name(), name);
+    }
+    EXPECT_DEATH(Testbed::makeBackend("perf"), "unknown backend");
+}
+
+}  // namespace
+}  // namespace exist

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Cluster-layer tests: CRD parsing, storage backends, placement, and
+ * the master's reconcile loop end to end.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/crd.h"
+#include "cluster/master.h"
+#include "cluster/storage.h"
+
+namespace exist {
+namespace {
+
+TEST(Crd, ParsesManifest)
+{
+    TraceRequest req = TraceRequest::parse(
+        "app=Search1 anomaly=true period_ms=250 budget_mb=300 "
+        "ring=true core_sample_ratio=0.5");
+    EXPECT_EQ(req.app, "Search1");
+    EXPECT_TRUE(req.anomaly);
+    EXPECT_EQ(req.period_override, 250 * kCyclesPerMs);
+    EXPECT_EQ(req.budget_mb, 300u);
+    EXPECT_TRUE(req.ring_buffers);
+    EXPECT_DOUBLE_EQ(req.core_sample_ratio, 0.5);
+    EXPECT_EQ(req.phase, RequestPhase::kPending);
+}
+
+TEST(Crd, DefaultsAndRoundTrip)
+{
+    TraceRequest req = TraceRequest::parse("app=Cache");
+    EXPECT_FALSE(req.anomaly);
+    EXPECT_EQ(req.period_override, 0u);
+    EXPECT_EQ(req.budget_mb, 500u);
+    TraceRequest again = TraceRequest::parse(req.toManifest());
+    EXPECT_EQ(again.app, req.app);
+    EXPECT_EQ(again.budget_mb, req.budget_mb);
+}
+
+TEST(Crd, RejectsMalformedManifests)
+{
+    EXPECT_DEATH(TraceRequest::parse("appSearch1"), "malformed");
+    EXPECT_DEATH(TraceRequest::parse("app=x frobnicate=1"), "unknown");
+    EXPECT_DEATH(TraceRequest::parse("anomaly=true"), "missing app");
+}
+
+TEST(ObjectStoreTest, PutGetListAndOverwrite)
+{
+    ObjectStore oss;
+    oss.put("traces/a/1", {1, 2, 3});
+    oss.put("traces/a/2", {4, 5});
+    oss.put("traces/b/1", {6});
+    EXPECT_TRUE(oss.exists("traces/a/1"));
+    EXPECT_FALSE(oss.exists("traces/c"));
+    EXPECT_EQ(oss.get("traces/a/2").size(), 2u);
+    EXPECT_EQ(oss.listPrefix("traces/a/").size(), 2u);
+    EXPECT_EQ(oss.totalBytes(), 6u);
+    oss.put("traces/a/1", {9, 9, 9, 9});  // overwrite adjusts size
+    EXPECT_EQ(oss.totalBytes(), 7u);
+    EXPECT_EQ(oss.objectCount(), 3u);
+}
+
+TEST(OdpsTableTest, QueriesByAppAndRequest)
+{
+    OdpsTable odps;
+    odps.insert(TraceRow{.app = "a", .node = 1, .request_id = 10});
+    odps.insert(TraceRow{.app = "a", .node = 2, .request_id = 11});
+    odps.insert(TraceRow{.app = "b", .node = 1, .request_id = 10});
+    EXPECT_EQ(odps.queryApp("a").size(), 2u);
+    EXPECT_EQ(odps.queryRequest(10).size(), 2u);
+    EXPECT_EQ(odps.queryApp("c").size(), 0u);
+}
+
+TEST(ClusterTest, RoundRobinPlacement)
+{
+    Cluster cluster(ClusterConfig{.num_nodes = 4});
+    cluster.deploy("a", 6);
+    cluster.deploy("b", 2);
+    EXPECT_EQ(cluster.replicasOf("a"), 6);
+    EXPECT_EQ(cluster.replicasOf("b"), 2);
+    // Six replicas over four nodes: max spread.
+    int per_node[4] = {0, 0, 0, 0};
+    for (const PodInstance *p : cluster.podsOf("a"))
+        ++per_node[p->node];
+    for (int n : per_node)
+        EXPECT_GE(n, 1);
+    EXPECT_EQ(cluster.podsOn(0).size() + cluster.podsOn(1).size() +
+                  cluster.podsOn(2).size() + cluster.podsOn(3).size(),
+              8u);
+    EXPECT_EQ(cluster.deployedApps().size(), 2u);
+}
+
+TEST(ClusterTest, MetadataComesFromCatalog)
+{
+    Cluster cluster(ClusterConfig{.num_nodes = 2});
+    cluster.deploy("Search1", 3);
+    AppDeployment meta = cluster.metadataFor("Search1", true);
+    EXPECT_EQ(meta.replicas, 3);
+    EXPECT_TRUE(meta.anomaly);
+    EXPECT_GT(meta.priority, 0.5);
+    EXPECT_DEATH(cluster.metadataFor("Cache"), "not deployed");
+}
+
+TEST(MasterTest, ReconcileLifecycle)
+{
+    ClusterConfig cc;
+    cc.num_nodes = 3;
+    cc.cores_per_node = 4;
+    Cluster cluster(cc);
+    cluster.deploy("Cache", 3);
+    Master master(&cluster);
+
+    std::uint64_t id = master.apply(
+        "app=Cache anomaly=true period_ms=60");
+    EXPECT_EQ(master.request(id)->phase, RequestPhase::kPending);
+    master.reconcile();
+    EXPECT_EQ(master.request(id)->phase, RequestPhase::kCompleted);
+
+    const TraceReport *rep = master.report(id);
+    ASSERT_NE(rep, nullptr);
+    EXPECT_EQ(rep->app, "Cache");
+    EXPECT_EQ(rep->traced_nodes.size(), 3u);  // anomaly: all replicas
+    EXPECT_EQ(rep->period, 60 * kCyclesPerMs);
+    EXPECT_GT(rep->merged_accuracy, 0.5);
+    EXPECT_GT(rep->total_trace_bytes, 0u);
+    EXPECT_EQ(master.sessionsRun(), 3u);
+
+    // Data plane artifacts exist and are queryable.
+    EXPECT_GE(master.oss().objectCount(), 3u);
+    EXPECT_EQ(master.odps().queryRequest(id).size(), 3u);
+    EXPECT_EQ(master.oss().listPrefix("traces/Cache/").size(),
+              master.oss().objectCount());
+}
+
+TEST(MasterTest, UndeployedAppFails)
+{
+    Cluster cluster(ClusterConfig{.num_nodes = 2});
+    Master master(&cluster);
+    std::uint64_t id = master.apply("app=NotThere");
+    // Parsing accepts it (the app name is opaque until reconcile).
+    master.reconcile();
+    EXPECT_EQ(master.request(id)->phase, RequestPhase::kFailed);
+    EXPECT_EQ(master.report(id), nullptr);
+}
+
+TEST(MasterTest, FootprintScalesSubLinearly)
+{
+    Cluster small(ClusterConfig{.num_nodes = 10});
+    Cluster big(ClusterConfig{.num_nodes = 1000});
+    Master m1(&small), m2(&big);
+    auto f1 = m1.managementFootprint();
+    auto f2 = m2.managementFootprint();
+    EXPECT_LT(f1.cores, 0.005);  // paper: <3e-3 cores at ten nodes
+    EXPECT_LT(f2.cores / 1000.0, 0.001);  // per-mille at scale
+    EXPECT_GT(f2.memory_mb, f1.memory_mb);
+}
+
+TEST(MasterTest, PersonalizedOptionsAreHonored)
+{
+    // Ring buffers + explicit core-sampling ratio flow from the CRD
+    // manifest all the way into the node session.
+    ClusterConfig cc;
+    cc.num_nodes = 2;
+    cc.cores_per_node = 4;
+    Cluster cluster(cc);
+    cluster.deploy("Search2", 2);  // CPU-share profile
+    Master master(&cluster);
+    std::uint64_t id = master.apply(
+        "app=Search2 anomaly=true period_ms=60 ring=true "
+        "core_sample_ratio=0.5 budget_mb=64");
+    master.reconcile();
+    EXPECT_EQ(master.request(id)->phase, RequestPhase::kCompleted);
+    const TraceReport *rep = master.report(id);
+    ASSERT_NE(rep, nullptr);
+    EXPECT_GT(rep->total_trace_bytes, 0u);
+    // Half of the four cores sampled per worker: the OSS holds two
+    // core objects per traced node.
+    auto keys = master.oss().listPrefix("traces/Search2/");
+    EXPECT_EQ(keys.size(), 2u * 2u);
+}
+
+TEST(MasterTest, RepeatedReconcileIsIdempotent)
+{
+    ClusterConfig cc;
+    cc.num_nodes = 2;
+    cc.cores_per_node = 4;
+    Cluster cluster(cc);
+    cluster.deploy("Cache", 2);
+    Master master(&cluster);
+    std::uint64_t id =
+        master.apply("app=Cache anomaly=true period_ms=50");
+    master.reconcile();
+    std::uint64_t sessions = master.sessionsRun();
+    master.reconcile();  // nothing pending: no new work
+    EXPECT_EQ(master.sessionsRun(), sessions);
+    EXPECT_EQ(master.odps().queryRequest(id).size(), 2u);
+}
+
+}  // namespace
+}  // namespace exist

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for EXIST's three components: UMA allocation policy, OTC's
+ * O(#cores) control property, and RCO's temporal/spatial policies.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/testbed.h"
+#include "core/exist_backend.h"
+#include "core/otc.h"
+#include "core/rco.h"
+#include "core/uma.h"
+#include "os/kernel.h"
+
+namespace exist {
+namespace {
+
+constexpr std::uint64_t kMb = 1024ull * 1024;
+
+TEST(Uma, CpuSetSplitsBudgetEqually)
+{
+    Kernel kernel(NodeConfig{.num_cores = 8, .seed = 1});
+    auto bin = Testbed::binaryForApp("Search1");  // CPU-set profile
+    Process *p =
+        kernel.createProcess("Search1", bin, {0, 1, 2, 3});
+    UmaConfig cfg;
+    cfg.budget_mb = 400;
+    UmaPlan plan = UsageAwareMemoryAllocator::plan(kernel, *p, cfg);
+    ASSERT_EQ(plan.allocations.size(), 4u);
+    for (const CoreAllocation &a : plan.allocations) {
+        EXPECT_EQ(a.real_bytes, 100 * kMb);
+        EXPECT_TRUE(std::count(p->allowedCores().begin(),
+                               p->allowedCores().end(), a.core));
+    }
+    EXPECT_EQ(plan.total_real_bytes, 400 * kMb);
+}
+
+TEST(Uma, PerCoreBufferIsClamped)
+{
+    Kernel kernel(NodeConfig{.num_cores = 4, .seed = 1});
+    auto bin = Testbed::binaryForApp("Search1");
+    Process *p = kernel.createProcess("Search1", bin, {0});
+    UmaConfig cfg;
+    cfg.budget_mb = 1000;  // would give 1000 MB to one core
+    UmaPlan plan = UsageAwareMemoryAllocator::plan(kernel, *p, cfg);
+    ASSERT_EQ(plan.allocations.size(), 1u);
+    EXPECT_EQ(plan.allocations[0].real_bytes,
+              cfg.max_core_buffer_mb * kMb);
+
+    cfg.budget_mb = 16;  // 16/1 is fine, but with 8 mapped cores...
+    Process *wide =
+        kernel.createProcess("Search1b", bin, {0, 1, 2, 3});
+    plan = UsageAwareMemoryAllocator::plan(kernel, *wide, cfg);
+    for (const CoreAllocation &a : plan.allocations)
+        EXPECT_EQ(a.real_bytes, cfg.min_core_buffer_mb * kMb);
+}
+
+TEST(Uma, CpuShareSamplesRequestedFraction)
+{
+    Kernel kernel(NodeConfig{.num_cores = 16, .seed = 2});
+    auto bin = Testbed::binaryForApp("Search2");  // CPU-share profile
+    Process *p = kernel.createProcess("Search2", bin, {});
+    for (double ratio : {0.3, 0.5, 0.8, 1.0}) {
+        UmaConfig cfg;
+        cfg.sample_ratio = ratio;
+        UmaPlan plan = UsageAwareMemoryAllocator::plan(kernel, *p, cfg);
+        EXPECT_EQ(plan.allocations.size(),
+                  static_cast<std::size_t>(std::ceil(16 * ratio)));
+        // No duplicate cores.
+        std::set<CoreId> cores;
+        for (const CoreAllocation &a : plan.allocations)
+            cores.insert(a.core);
+        EXPECT_EQ(cores.size(), plan.allocations.size());
+    }
+}
+
+TEST(Uma, CpuShareIncludesCoresRunningTheTarget)
+{
+    Kernel kernel(NodeConfig{.num_cores = 8, .seed = 3});
+    auto bin = Testbed::binaryForApp("Search2");
+    Process *p = kernel.createProcess("Search2", bin, {});
+    kernel.startThread(kernel.createThread(p, nullptr));
+    kernel.runFor(secondsToCycles(0.01));
+
+    // Find where the thread is running.
+    CoreId running = kInvalidId;
+    for (int c = 0; c < 8; ++c)
+        if (kernel.runningOn(c) != nullptr)
+            running = c;
+    ASSERT_NE(running, kInvalidId);
+
+    UmaConfig cfg;
+    cfg.sample_ratio = 0.25;  // only 2 of 8 cores
+    UmaPlan plan = UsageAwareMemoryAllocator::plan(kernel, *p, cfg);
+    bool included = false;
+    for (const CoreAllocation &a : plan.allocations)
+        included = included || a.core == running;
+    EXPECT_TRUE(included) << "compulsory current core missing";
+}
+
+TEST(Otc, ControlOpsAreBoundedByCores)
+{
+    // The headline property: many context switches, few control ops.
+    Kernel kernel(NodeConfig{.num_cores = 2, .seed = 4});
+    auto bin = Testbed::binaryForApp("om");
+    Process *target = kernel.createProcess("om", bin, {0, 1});
+    Process *noise =
+        kernel.createProcess("xz", Testbed::binaryForApp("xz"), {0, 1});
+    kernel.startThread(kernel.createThread(target, nullptr));
+    for (int i = 0; i < 3; ++i)
+        kernel.startThread(kernel.createThread(noise, nullptr));
+    kernel.runFor(secondsToCycles(0.02));
+
+    ExistBackend backend;
+    SessionSpec spec;
+    spec.target = target;
+    spec.period = secondsToCycles(0.3);
+    std::uint64_t switches_before = kernel.totalContextSwitches();
+    backend.start(kernel, spec);
+    kernel.runFor(spec.period + secondsToCycles(0.01));
+    std::uint64_t switches =
+        kernel.totalContextSwitches() - switches_before;
+
+    EXPECT_GT(switches, 200u);  // plenty of sched churn
+    // Enable once per core + disable once per enabled core.
+    EXPECT_LE(backend.controller().controlOps(),
+              2u * 2u /* cores */);
+    EXPECT_FALSE(kernel.tracer(0).enabled());
+    EXPECT_FALSE(kernel.tracer(1).enabled());
+}
+
+TEST(Otc, HrtStopsTracingAtPeriodEnd)
+{
+    Kernel kernel(NodeConfig{.num_cores = 1, .seed = 5});
+    auto bin = Testbed::binaryForApp("ex");
+    Process *p = kernel.createProcess("ex", bin, {0});
+    kernel.startThread(kernel.createThread(p, nullptr));
+    kernel.runFor(secondsToCycles(0.01));
+
+    ExistBackend backend;
+    SessionSpec spec;
+    spec.target = p;
+    spec.period = secondsToCycles(0.05);
+    backend.start(kernel, spec);
+    kernel.runFor(secondsToCycles(0.02));
+    EXPECT_TRUE(kernel.tracer(0).enabled());
+    std::uint64_t bytes_mid = kernel.tracer(0).output().bytesAccepted();
+    kernel.runFor(secondsToCycles(0.05));
+    EXPECT_FALSE(kernel.tracer(0).enabled());
+    std::uint64_t bytes_end = kernel.tracer(0).output().bytesAccepted();
+    EXPECT_GT(bytes_end, bytes_mid);
+    // Nothing more is traced after the HRT fired.
+    kernel.runFor(secondsToCycles(0.05));
+    EXPECT_EQ(kernel.tracer(0).output().bytesAccepted(), bytes_end);
+}
+
+TEST(Otc, OnlyPlannedCoresAreEnabled)
+{
+    Kernel kernel(NodeConfig{.num_cores = 4, .seed = 6});
+    auto bin = Testbed::binaryForApp("om");
+    Process *p = kernel.createProcess("om", bin, {0, 1, 2, 3});
+    kernel.startThread(kernel.createThread(p, nullptr));
+    kernel.runFor(secondsToCycles(0.01));
+
+    OperationAwareController otc;
+    OperationAwareController::Config cfg;
+    cfg.target = p;
+    cfg.period = secondsToCycles(0.05);
+    cfg.plan.allocations = {CoreAllocation{2, 8 * kMb}};
+    otc.start(kernel, cfg);
+    kernel.runFor(secondsToCycles(0.06));
+    for (CoreId c : otc.enabledCores())
+        EXPECT_EQ(c, 2);
+    otc.stop(kernel);
+}
+
+TEST(Rco, PeriodGrowsWithComplexityAndClamps)
+{
+    RepetitionAwareCoverageOptimizer rco;
+    AppDeployment simple{.app = "a", .priority = 0.0,
+                         .binary_bytes = 1 << 20,
+                         .past_incidents = 0, .replicas = 1};
+    AppDeployment complex{.app = "b", .priority = 1.0,
+                          .binary_bytes = 1000ull << 20,
+                          .past_incidents = 10, .replicas = 1};
+    Cycles p_simple = rco.decidePeriod(simple);
+    Cycles p_complex = rco.decidePeriod(complex);
+    EXPECT_LT(p_simple, p_complex);
+    EXPECT_GE(p_simple, rco.config().min_period);
+    EXPECT_LE(p_complex, rco.config().max_period);
+    EXPECT_NEAR(rco.complexity(complex), 1.0, 1e-9);
+}
+
+TEST(Rco, ReferenceOverheadShrinksPeriod)
+{
+    RepetitionAwareCoverageOptimizer rco;
+    AppDeployment d{.app = "a", .priority = 0.9,
+                    .binary_bytes = 500ull << 20, .past_incidents = 5,
+                    .replicas = 4};
+    d.reference_overhead = 0.001;
+    Cycles cheap = rco.decidePeriod(d);
+    d.reference_overhead = 0.02;  // 10x over budget
+    Cycles expensive = rco.decidePeriod(d);
+    EXPECT_LT(expensive, cheap);
+}
+
+TEST(Rco, AnomalyTracesEveryRepetition)
+{
+    RepetitionAwareCoverageOptimizer rco;
+    AppDeployment d{.app = "a", .priority = 0.2,
+                    .binary_bytes = 1 << 20, .past_incidents = 0,
+                    .replicas = 12};
+    d.anomaly = true;
+    EXPECT_EQ(rco.decideRepetitions(d), 12);
+    d.anomaly = false;
+    int profiled = rco.decideRepetitions(d);
+    EXPECT_LT(profiled, 12);
+    EXPECT_GE(profiled, rco.config().deployment_threshold);
+}
+
+TEST(Rco, HigherPriorityTracesMoreRepetitions)
+{
+    RepetitionAwareCoverageOptimizer rco;
+    AppDeployment lo{.app = "a", .priority = 0.1,
+                     .binary_bytes = 1 << 20, .past_incidents = 0,
+                     .replicas = 40};
+    AppDeployment hi = lo;
+    hi.priority = 1.0;
+    EXPECT_LE(rco.decideRepetitions(lo), rco.decideRepetitions(hi));
+}
+
+TEST(Rco, SelectionIsUniqueSortedAndSized)
+{
+    RepetitionAwareCoverageOptimizer rco;
+    Rng rng(7);
+    AppDeployment d{.app = "a", .priority = 0.8,
+                    .binary_bytes = 100ull << 20, .past_incidents = 2,
+                    .replicas = 20};
+    std::vector<int> workers = rco.selectWorkers(d, rng);
+    EXPECT_EQ(static_cast<int>(workers.size()),
+              rco.decideRepetitions(d));
+    for (std::size_t i = 1; i < workers.size(); ++i)
+        EXPECT_LT(workers[i - 1], workers[i]);
+    for (int w : workers) {
+        EXPECT_GE(w, 0);
+        EXPECT_LT(w, 20);
+    }
+}
+
+TEST(ExistBackendTest, CollectsPerPlannedCore)
+{
+    Kernel kernel(NodeConfig{.num_cores = 2, .seed = 8});
+    auto bin = Testbed::binaryForApp("ex");
+    Process *p = kernel.createProcess("ex", bin, {0, 1});
+    kernel.startThread(kernel.createThread(p, nullptr));
+    kernel.runFor(secondsToCycles(0.01));
+
+    ExistBackend backend;
+    SessionSpec spec;
+    spec.target = p;
+    spec.period = secondsToCycles(0.05);
+    backend.start(kernel, spec);
+    kernel.runFor(spec.period + secondsToCycles(0.01));
+    backend.stop(kernel);
+
+    auto traces = backend.collect();
+    EXPECT_EQ(traces.size(), backend.plan().allocations.size());
+    std::uint64_t total = 0;
+    for (const CollectedTrace &ct : traces)
+        total += ct.bytes.size();
+    EXPECT_GT(total, 0u);
+    EXPECT_TRUE(backend.producesInstructionTrace());
+    // The five-tuple sidecar was captured with the session.
+    EXPECT_GE(backend.switchLog().size(), 1u);
+}
+
+}  // namespace
+}  // namespace exist

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the ETM-style trace format (paper §6.2 portability): the
+ * same execution round-trips through the CoreSight-flavoured wire
+ * format, the transcoder lowers it to the common vocabulary, and the
+ * unchanged decode pipeline reconstructs it exactly.
+ */
+#include <gtest/gtest.h>
+
+#include "decode/flow_reconstructor.h"
+#include "hwtrace/etm.h"
+#include "workload/execution.h"
+
+namespace exist {
+namespace {
+
+TEST(Etm, AtomsPackAndFlush)
+{
+    std::vector<std::uint8_t> bytes;
+    etm::EtmPacketWriter writer(&bytes);
+    writer.reset(0);
+    for (int i = 0; i < 16; ++i)
+        writer.atom(i % 3 == 0, 10 * static_cast<Cycles>(i));
+    EXPECT_EQ(writer.atomPackets(), 2u);  // two full groups of 8
+    writer.flushAtoms(200);
+    EXPECT_EQ(writer.atomPackets(), 2u);  // nothing pending
+    writer.atom(true, 210);
+    writer.flushAtoms(220);
+    EXPECT_EQ(writer.atomPackets(), 3u);  // the partial group
+}
+
+TEST(Etm, TranscodeRoundTripsExecution)
+{
+    // Drive a real execution through the ETM writer, lower it to the
+    // common format, and decode with the shared pipeline.
+    ProgramBinary prog =
+        ProgramBinary::generate(AppCatalog::find("om"), 51);
+    ExecutionContext exec(&prog, 52);
+
+    std::vector<std::uint8_t> etm_bytes;
+    etm::EtmPacketWriter writer(&etm_bytes);
+    writer.reset(0);
+    writer.traceOn(prog.block(exec.currentBlock()).address, 0);
+
+    std::vector<std::uint32_t> truth;
+    Cycles now = 0;
+    for (int i = 0; i < 25000; ++i) {
+        truth.push_back(exec.currentBlock());
+        StepResult s = exec.step();
+        now += s.insns;
+        switch (s.branch.kind) {
+          case BranchKind::kConditional:
+            writer.atom(s.branch.taken, now);
+            break;
+          case BranchKind::kIndirectJump:
+          case BranchKind::kIndirectCall:
+          case BranchKind::kReturn:
+            writer.address(prog.block(s.branch.target_block).address,
+                           now);
+            break;
+          case BranchKind::kSyscall:
+            writer.traceOff(now);
+            now += 150;
+            writer.traceOn(
+                prog.block(exec.currentBlock()).address, now);
+            break;
+          default:
+            break;
+        }
+        if (s.syscall && s.branch.kind != BranchKind::kSyscall) {
+            writer.traceOff(now);
+            now += 150;
+            writer.traceOn(
+                prog.block(exec.currentBlock()).address, now);
+        }
+    }
+    writer.flushAtoms(now);
+
+    std::size_t errors = 0;
+    std::vector<std::uint8_t> common =
+        etm::transcodeToCommon(etm_bytes, &errors);
+    EXPECT_EQ(errors, 0u);
+    EXPECT_GT(common.size(), 1000u);
+
+    DecodeOptions opts;
+    opts.record_path = true;
+    FlowReconstructor rec(&prog, opts);
+    DecodedTrace dt = rec.decode(common);
+    EXPECT_EQ(dt.decode_errors, 0u);
+    ASSERT_GE(dt.block_path.size(), truth.size() * 95 / 100);
+    std::size_t n = std::min(dt.block_path.size(), truth.size());
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(dt.block_path[i], truth[i]) << "at " << i;
+}
+
+TEST(Etm, AddressCompressionStates)
+{
+    std::vector<std::uint8_t> bytes;
+    etm::EtmPacketWriter writer(&bytes);
+    writer.reset(0);
+    writer.traceOn(0x400000, 0);
+    writer.address(0x400010, 10);   // short delta
+    writer.address(0x400abc, 20);   // short delta
+    writer.address(0x40400000, 30); // mid delta
+    std::size_t errors = 0;
+    std::vector<std::uint8_t> common =
+        etm::transcodeToCommon(bytes, &errors);
+    EXPECT_EQ(errors, 0u);
+    EXPECT_GT(common.size(), 8u);
+}
+
+TEST(Etm, GarbageIsCountedNotFatal)
+{
+    std::vector<std::uint8_t> junk;
+    for (int i = 0; i < 500; ++i)
+        junk.push_back(static_cast<std::uint8_t>(i * 29 + 3));
+    std::size_t errors = 0;
+    std::vector<std::uint8_t> common =
+        etm::transcodeToCommon(junk, &errors);
+    EXPECT_GT(errors, 0u);
+}
+
+TEST(Etm, SyncCadenceReanchorsAddresses)
+{
+    // Enough atoms to cross the sync period several times; decode
+    // must stay exact across sync points.
+    ProgramBinary prog =
+        ProgramBinary::generate(AppCatalog::find("ex"), 53);
+    ExecutionContext exec(&prog, 54);
+    std::vector<std::uint8_t> etm_bytes;
+    etm::EtmPacketWriter writer(&etm_bytes);
+    writer.reset(0);
+    writer.traceOn(prog.block(exec.currentBlock()).address, 0);
+    Cycles now = 0;
+    std::uint64_t branches = 0;
+    for (int i = 0; i < 120000; ++i) {
+        StepResult s = exec.step();
+        now += s.insns;
+        ++branches;
+        switch (s.branch.kind) {
+          case BranchKind::kConditional:
+            writer.atom(s.branch.taken, now);
+            break;
+          case BranchKind::kIndirectJump:
+          case BranchKind::kIndirectCall:
+          case BranchKind::kReturn:
+            writer.address(prog.block(s.branch.target_block).address,
+                           now);
+            break;
+          default:
+            break;
+        }
+        if (s.syscall) {
+            writer.traceOff(now);
+            now += 100;
+            writer.traceOn(
+                prog.block(exec.currentBlock()).address, now);
+        }
+    }
+    writer.flushAtoms(now);
+    ASSERT_GT(etm_bytes.size(), etm::kSyncPeriodBytes * 2);
+
+    std::vector<std::uint8_t> common =
+        etm::transcodeToCommon(etm_bytes);
+    FlowReconstructor rec(&prog);
+    DecodedTrace dt = rec.decode(common);
+    EXPECT_EQ(dt.decode_errors, 0u);
+    EXPECT_GT(dt.branches_decoded, branches * 95 / 100);
+}
+
+}  // namespace
+}  // namespace exist

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Property/fuzz tests: randomized inputs against invariants that must
+ * hold for any input — byte conservation in ToPA, parser termination
+ * on arbitrary bytes, writer/parser agreement on random packet
+ * sequences, and CRD manifest round-trips.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/crd.h"
+#include "decode/packet_parser.h"
+#include "hwtrace/packet_writer.h"
+#include "hwtrace/topa.h"
+#include "util/rng.h"
+
+namespace exist {
+namespace {
+
+TEST(Fuzz, TopaConservesBytesUnderRandomWrites)
+{
+    Rng rng(101);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<TopaEntry> entries;
+        int nregions = 1 + static_cast<int>(rng.uniformInt(4));
+        for (int i = 0; i < nregions; ++i)
+            entries.push_back(TopaEntry{
+                16 + rng.uniformInt(256),
+                /*stop=*/i == nregions - 1 && rng.bernoulli(0.5),
+                /*intr=*/rng.bernoulli(0.3)});
+        bool ring = !entries.back().stop && rng.bernoulli(0.7);
+        if (!entries.back().stop && !ring)
+            entries.back().stop = true;
+
+        TopaBuffer buf;
+        buf.configure(entries, ring);
+        std::uint64_t sent = 0;
+        std::uint8_t chunk[64];
+        for (int w = 0; w < 40; ++w) {
+            std::uint64_t n = 1 + rng.uniformInt(sizeof(chunk));
+            TopaWriteResult r = buf.write(chunk, n);
+            sent += n;
+            ASSERT_EQ(r.accepted + r.dropped, n);
+        }
+        ASSERT_EQ(buf.bytesAccepted() + buf.bytesDropped(), sent);
+        if (!ring)
+            ASSERT_LE(buf.bytesAccepted(), buf.capacity());
+    }
+}
+
+TEST(Fuzz, ParserTerminatesOnArbitraryBytes)
+{
+    Rng rng(202);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::vector<std::uint8_t> junk(
+            1 + rng.uniformInt(4096));
+        for (auto &b : junk)
+            b = static_cast<std::uint8_t>(rng.next());
+        PacketParser parser(junk.data(), junk.size());
+        Packet pkt;
+        std::size_t guard = 0;
+        std::size_t last_off = 0;
+        while (parser.next(pkt)) {
+            // Progress: the offset must strictly advance.
+            ASSERT_GT(parser.offset(), last_off);
+            last_off = parser.offset();
+            ASSERT_LT(++guard, junk.size() + 16);
+        }
+    }
+}
+
+TEST(Fuzz, WriterParserAgreeOnRandomSequences)
+{
+    Rng rng(303);
+    for (int trial = 0; trial < 20; ++trial) {
+        TopaBuffer buf;
+        buf.configure({TopaEntry{1 << 20, true, false}}, false);
+        PacketWriter writer(&buf);
+        writer.resetState(0);
+
+        struct Expect {
+            int kind;  // 0 tnt-bit, 1 tip, 2 pge, 3 pgd
+            std::uint64_t value;
+        };
+        std::vector<Expect> script;
+        Cycles now = 0;
+        std::uint64_t ip = 0x400000;
+        bool on = false;
+        for (int i = 0; i < 3000; ++i) {
+            now += 1 + rng.uniformInt(500);
+            double u = rng.uniform();
+            if (!on || u < 0.1) {
+                ip = 0x400000 + rng.uniformInt(1 << 20) * 4;
+                writer.pge(ip, now);
+                script.push_back({2, ip});
+                on = true;
+            } else if (u < 0.75) {
+                bool taken = rng.bernoulli(0.6);
+                writer.tnt(taken, now);
+                script.push_back({0, taken ? 1u : 0u});
+            } else if (u < 0.95) {
+                ip = 0x400000 + rng.uniformInt(1 << 20) * 4;
+                writer.tip(ip, now);
+                script.push_back({1, ip});
+            } else {
+                writer.pgd(now);
+                script.push_back({3, 0});
+                on = false;
+            }
+        }
+        writer.flushTnt(now);
+
+        // Parse back; TNT bits may arrive later than TIPs (deferred
+        // TNT), so compare per-kind streams.
+        std::vector<std::uint64_t> want_tips, got_tips;
+        std::vector<int> want_bits, got_bits;
+        int want_pge = 0, got_pge = 0, want_pgd = 0, got_pgd = 0;
+        for (const Expect &e : script) {
+            switch (e.kind) {
+              case 0: want_bits.push_back(static_cast<int>(e.value));
+                      break;
+              case 1: want_tips.push_back(e.value); break;
+              case 2: ++want_pge; break;
+              case 3: ++want_pgd; break;
+            }
+        }
+        PacketParser parser(buf.data().data(), buf.bytesAccepted());
+        Packet pkt;
+        while (parser.next(pkt)) {
+            switch (pkt.op) {
+              case PacketOp::kTnt6:
+                for (int i = 0; i < pkt.tnt_count; ++i)
+                    got_bits.push_back((pkt.tnt_bits >> i) & 1);
+                break;
+              case PacketOp::kTip:
+                got_tips.push_back(pkt.value);
+                break;
+              case PacketOp::kTipPge:
+                ++got_pge;
+                break;
+              case PacketOp::kTipPgd:
+                ++got_pgd;
+                break;
+              default:
+                break;
+            }
+        }
+        ASSERT_EQ(got_tips, want_tips);
+        ASSERT_EQ(got_bits, want_bits);
+        ASSERT_EQ(got_pge, want_pge);
+        ASSERT_EQ(got_pgd, want_pgd);
+        ASSERT_EQ(parser.resyncCount(), 0u);
+    }
+}
+
+TEST(Fuzz, CrdManifestRoundTrips)
+{
+    Rng rng(404);
+    const char *apps[] = {"Search1", "Cache", "mc", "a-b_c.9"};
+    for (int trial = 0; trial < 100; ++trial) {
+        TraceRequest req;
+        req.app = apps[rng.uniformInt(4)];
+        req.anomaly = rng.bernoulli(0.5);
+        req.budget_mb = 1 + rng.uniformInt(2000);
+        req.ring_buffers = rng.bernoulli(0.3);
+        if (rng.bernoulli(0.5))
+            req.period_override =
+                kCyclesPerMs * (1 + rng.uniformInt(2000));
+        if (rng.bernoulli(0.4))
+            req.core_sample_ratio = 0.1 + 0.9 * rng.uniform();
+
+        TraceRequest again = TraceRequest::parse(req.toManifest());
+        EXPECT_EQ(again.app, req.app);
+        EXPECT_EQ(again.anomaly, req.anomaly);
+        EXPECT_EQ(again.budget_mb, req.budget_mb);
+        EXPECT_EQ(again.ring_buffers, req.ring_buffers);
+        EXPECT_NEAR(static_cast<double>(again.period_override),
+                    static_cast<double>(req.period_override),
+                    static_cast<double>(kCyclesPerMs) * 0.01);
+        EXPECT_NEAR(again.core_sample_ratio, req.core_sample_ratio,
+                    1e-6);
+    }
+}
+
+}  // namespace
+}  // namespace exist

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Service runtime and load generator tests: request completion,
+ * queueing, RPC chains, closed-loop vs open-loop behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/testbed.h"
+#include "os/kernel.h"
+#include "os/loadgen.h"
+#include "os/service.h"
+
+namespace exist {
+namespace {
+
+struct ServiceRig {
+    Kernel kernel;
+    std::shared_ptr<const ProgramBinary> bin;
+    Process *proc;
+    Service service;
+
+    explicit ServiceRig(const char *app = "mc", int cores = 4,
+                        int workers = 4)
+        : kernel(NodeConfig{.num_cores = cores, .seed = 3}),
+          bin(Testbed::binaryForApp(app)),
+          proc(kernel.createProcess(app, bin, {})),
+          service(&kernel, proc, 99)
+    {
+        service.spawnWorkers(workers);
+    }
+};
+
+TEST(Service, CompletesSubmittedRequests)
+{
+    ServiceRig rig;
+    int done = 0;
+    for (int i = 0; i < 20; ++i)
+        rig.service.submit(rig.kernel.now(),
+                           [&](Cycles) { ++done; });
+    rig.kernel.runFor(secondsToCycles(0.05));
+    EXPECT_EQ(done, 20);
+    EXPECT_EQ(rig.service.completedCount(), 20u);
+    EXPECT_EQ(rig.service.queueDepth(), 0u);
+}
+
+TEST(Service, QueueDrainsInOrderUnderBacklog)
+{
+    ServiceRig rig("mc", 1, 1);
+    std::vector<int> completion_order;
+    for (int i = 0; i < 10; ++i)
+        rig.service.submit(rig.kernel.now(), [&, i](Cycles) {
+            completion_order.push_back(i);
+        });
+    rig.kernel.runFor(secondsToCycles(0.05));
+    ASSERT_EQ(completion_order.size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(completion_order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Service, RpcChainTraversesDownstream)
+{
+    Kernel kernel(NodeConfig{.num_cores = 4, .seed = 4});
+    auto front_bin = Testbed::binaryForApp("Search1");
+    auto leaf_bin = Testbed::binaryForApp("Cache");
+    Process *fp = kernel.createProcess("Search1", front_bin, {});
+    Process *lp = kernel.createProcess("Cache", leaf_bin, {});
+    Service front(&kernel, fp, 1);
+    Service leaf(&kernel, lp, 2);
+    front.spawnWorkers(4);
+    leaf.spawnWorkers(4);
+    front.setDownstream(&leaf);
+
+    int done = 0;
+    Cycles latency = 0;
+    Cycles t0 = kernel.now();
+    for (int i = 0; i < 10; ++i)
+        front.submit(kernel.now(), [&](Cycles t) {
+            ++done;
+            latency = t - t0;
+        });
+    kernel.runFor(secondsToCycles(0.2));
+    EXPECT_EQ(done, 10);
+    // Each front request triggers downstream_rpcs leaf requests.
+    EXPECT_EQ(leaf.completedCount(),
+              10u * static_cast<unsigned>(
+                        front_bin->profile().downstream_rpcs));
+    // E2E latency includes at least the network round trips.
+    EXPECT_GT(latency, 2 * costs::kRpcNetLatency);
+}
+
+TEST(LoadGen, PoissonRateIsApproximatelyRight)
+{
+    ServiceRig rig;
+    PoissonLoadGen gen(&rig.kernel, &rig.service, 2000.0, 5);
+    gen.start();
+    rig.kernel.runFor(secondsToCycles(0.5));
+    gen.stop();
+    EXPECT_NEAR(static_cast<double>(gen.issued()), 1000.0, 150.0);
+    EXPECT_GT(gen.completed(), gen.issued() * 9 / 10);
+    EXPECT_GT(gen.latencies().count(), 0u);
+}
+
+TEST(LoadGen, WarmupDiscardsEarlySamples)
+{
+    ServiceRig rig;
+    PoissonLoadGen gen(&rig.kernel, &rig.service, 2000.0, 6);
+    gen.setWarmupUntil(secondsToCycles(0.25));
+    gen.start();
+    rig.kernel.runFor(secondsToCycles(0.5));
+    // Roughly half the completions fall after warm-up.
+    EXPECT_LT(gen.latencies().count(), gen.completed() * 7 / 10);
+}
+
+TEST(LoadGen, ClosedLoopKeepsClientsInFlight)
+{
+    ServiceRig rig;
+    ClosedLoopLoadGen gen(&rig.kernel, &rig.service, 8, 7);
+    gen.start();
+    rig.kernel.runFor(secondsToCycles(0.3));
+    gen.stop();
+    // Completions track issues within the client count.
+    EXPECT_GT(gen.completed(), 100u);
+    EXPECT_LE(gen.issued() - gen.completed(), 8u);
+}
+
+TEST(LoadGen, ClosedLoopThroughputDropsWithSlowService)
+{
+    // The property Fig. 14 relies on: closed-loop throughput reflects
+    // service time. Compare a fast and a slowed (higher-demand) run.
+    auto run = [](double demand_scale) {
+        AppProfile profile = AppCatalog::find("mc");
+        profile.demand_mean_insns *= demand_scale;
+        Kernel kernel(NodeConfig{.num_cores = 2, .seed = 8});
+        auto bin = std::make_shared<const ProgramBinary>(
+            ProgramBinary::generate(profile, 9));
+        Process *p = kernel.createProcess("mc", bin, {});
+        Service svc(&kernel, p, 10);
+        svc.spawnWorkers(4);
+        ClosedLoopLoadGen gen(&kernel, &svc, 10, 11);
+        gen.start();
+        kernel.runFor(secondsToCycles(0.2));
+        return gen.completed();
+    };
+    std::uint64_t fast = run(1.0);
+    std::uint64_t slow = run(1.2);
+    EXPECT_LT(static_cast<double>(slow),
+              static_cast<double>(fast) * 0.95);
+}
+
+}  // namespace
+}  // namespace exist

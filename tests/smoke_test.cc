@@ -1,0 +1,73 @@
+/**
+ * @file
+ * End-to-end smoke tests: the full pipeline (workload -> kernel ->
+ * tracer -> decode -> accuracy) on small configurations.
+ */
+#include <gtest/gtest.h>
+
+#include "analysis/testbed.h"
+#include "util/logging.h"
+
+namespace exist {
+namespace {
+
+TEST(Smoke, ComputeWorkloadRuns)
+{
+    ExperimentSpec spec;
+    spec.node.num_cores = 2;
+    spec.workloads.push_back(WorkloadSpec{.app = "ex", .target = true});
+    spec.backend = "Oracle";
+    spec.session.period = secondsToCycles(0.05);
+    spec.warmup = secondsToCycles(0.01);
+
+    ExperimentResult r = Testbed::run(spec);
+    EXPECT_GT(r.at("ex").insns, 1'000'000u);
+    EXPECT_GT(r.node_utilization, 0.2);
+}
+
+TEST(Smoke, ExistDecodesWithHighAccuracy)
+{
+    ExperimentSpec spec;
+    spec.node.num_cores = 2;
+    spec.workloads.push_back(WorkloadSpec{.app = "ex", .target = true});
+    spec.backend = "EXIST";
+    spec.session.period = secondsToCycles(0.05);
+    spec.warmup = secondsToCycles(0.01);
+    spec.decode = true;
+    spec.record_paths = true;
+
+    ExperimentResult r = Testbed::run(spec);
+    EXPECT_GT(r.truth_branches, 10'000u);
+    EXPECT_GT(r.decoded_branches, 0u);
+    EXPECT_GT(r.accuracy_coverage, 0.5);
+    EXPECT_GT(r.accuracy_wall, 0.8);
+    // Everything decoded must have really happened, in order.
+    EXPECT_GT(r.path_precision, 0.99);
+}
+
+TEST(Smoke, ExistOverheadBelowBaselines)
+{
+    auto slowdown = [](const std::string &backend) {
+        ExperimentSpec spec;
+        spec.node.num_cores = 2;
+        spec.workloads.push_back(
+            WorkloadSpec{.app = "om", .target = true});
+        spec.backend = backend;
+        spec.session.period = secondsToCycles(0.1);
+        spec.warmup = secondsToCycles(0.02);
+        auto cmp = Testbed::compare(spec);
+        return cmp.slowdownOf("om");
+    };
+
+    double exist = slowdown("EXIST");
+    double nht = slowdown("NHT");
+    double stasam = slowdown("StaSam");
+
+    EXPECT_LT(exist, stasam);
+    EXPECT_LT(exist, nht);
+    EXPECT_LT(exist, 1.02);  // per-mille-level target
+    EXPECT_GT(nht, 1.02);
+}
+
+}  // namespace
+}  // namespace exist

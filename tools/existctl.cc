@@ -1,0 +1,215 @@
+/**
+ * @file
+ * existctl — the operator CLI over the EXIST library (the paper's
+ * "easy-to-use interface", §3.1/§4). Three commands:
+ *
+ *   existctl list-apps
+ *       Show the workload catalog.
+ *
+ *   existctl trace <app> [--period-ms N] [--budget-mb N]
+ *                        [--backend EXIST|StaSam|eBPF|NHT]
+ *                        [--cores N] [--clients N] [--report]
+ *       Run one node-level tracing session against a synthetic
+ *       deployment of <app> and print the session statistics; with
+ *       --report, also synthesize the human-readable behaviour report.
+ *
+ *   existctl cluster <manifest>...
+ *       Stand up a demo ten-node cluster with the cloud applications
+ *       deployed, apply each TraceRequest manifest (e.g.
+ *       "app=Search1 anomaly=true period_ms=200"), reconcile, and
+ *       print the merged reports.
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/behavior_report.h"
+#include "analysis/report.h"
+#include "analysis/testbed.h"
+#include "cluster/master.h"
+#include "core/exist_backend.h"
+#include "decode/flow_reconstructor.h"
+#include "workload/app_profile.h"
+
+using namespace exist;
+
+namespace {
+
+int
+usage()
+{
+    std::fputs(
+        "usage: existctl list-apps\n"
+        "       existctl trace <app> [--period-ms N] [--budget-mb N]\n"
+        "                      [--backend NAME] [--cores N]\n"
+        "                      [--clients N] [--report]\n"
+        "       existctl cluster <manifest>...\n",
+        stderr);
+    return 2;
+}
+
+int
+cmdListApps()
+{
+    TableWriter table({"Name", "Kind", "Threads", "Priority",
+                       "Description"});
+    for (const std::string &name : AppCatalog::allNames()) {
+        AppProfile p = AppCatalog::find(name);
+        table.row({p.name, p.is_service ? "service" : "compute",
+                   std::to_string(p.num_threads),
+                   TableWriter::num(p.priority, 2), p.description});
+    }
+    table.print();
+    return 0;
+}
+
+int
+cmdTrace(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    std::string app = argv[0];
+    double period_ms = 200;
+    std::uint64_t budget_mb = 500;
+    std::string backend = "EXIST";
+    int cores = 4;
+    int clients = 10;
+    bool report = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--period-ms")
+            period_ms = std::atof(next());
+        else if (arg == "--budget-mb")
+            budget_mb = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--backend")
+            backend = next();
+        else if (arg == "--cores")
+            cores = std::atoi(next());
+        else if (arg == "--clients")
+            clients = std::atoi(next());
+        else if (arg == "--report")
+            report = true;
+        else
+            return usage();
+    }
+
+    AppProfile profile = AppCatalog::find(app);
+    ExperimentSpec spec;
+    spec.node.num_cores = cores;
+    WorkloadSpec w{.app = app, .target = true};
+    if (profile.is_service)
+        w.closed_clients = clients;
+    spec.workloads.push_back(std::move(w));
+    spec.backend = backend;
+    spec.session.period = static_cast<Cycles>(
+        period_ms * static_cast<double>(kCyclesPerMs));
+    spec.session.budget_mb = budget_mb;
+    spec.decode = true;
+    spec.keep_traces = report;
+
+    std::printf("tracing '%s' with %s for %.0f ms on a %d-core node "
+                "(budget %llu MB)...\n",
+                app.c_str(), backend.c_str(), period_ms, cores,
+                (unsigned long long)budget_mb);
+    ExperimentResult r = Testbed::run(spec);
+    const AppResult &a = r.at(app);
+
+    TableWriter table({"Metric", "Value"});
+    table.row({"instructions retired", std::to_string(a.insns)});
+    table.row({"CPI", TableWriter::num(a.cpi, 3)});
+    table.row({"requests completed", std::to_string(a.completed)});
+    table.row({"trace data (MB)",
+               TableWriter::mb(r.backend_stats.trace_real_bytes)});
+    table.row({"dropped (MB)",
+               TableWriter::mb(r.backend_stats.dropped_real_bytes)});
+    table.row({"control operations",
+               std::to_string(r.backend_stats.control_ops)});
+    table.row({"RTIT MSR writes",
+               std::to_string(r.backend_stats.msr_writes)});
+    table.row({"decoded branches",
+               std::to_string(r.decoded_branches)});
+    table.row({"coverage",
+               TableWriter::pct(r.accuracy_coverage, 1)});
+    table.row({"Wall accuracy",
+               TableWriter::pct(r.accuracy_wall, 1)});
+    table.print();
+
+    if (report && !r.raw_traces.empty()) {
+        auto binary = Testbed::binaryForApp(app);
+        FlowReconstructor decoder(binary.get());
+        std::vector<std::pair<CoreId, DecodedTrace>> decoded;
+        for (const CollectedTrace &ct : r.raw_traces)
+            decoded.emplace_back(ct.core, decoder.decode(ct.bytes));
+        std::printf("\n%s", BehaviorReport::synthesize(
+                                *binary, decoded, r.switch_log)
+                                .c_str());
+    }
+    return 0;
+}
+
+int
+cmdCluster(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+
+    ClusterConfig cc;
+    cc.num_nodes = 10;
+    cc.cores_per_node = 6;
+    Cluster cluster(cc);
+    cluster.deploy("Search1", 8);
+    cluster.deploy("Search2", 6);
+    cluster.deploy("Cache", 6);
+    cluster.deploy("Pred", 4);
+    cluster.deploy("Agent", 10);
+    Master master(&cluster);
+
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < argc; ++i)
+        ids.push_back(master.apply(argv[i]));
+    master.reconcile();
+
+    for (std::uint64_t id : ids) {
+        const TraceRequest *req = master.request(id);
+        std::printf("\nrequest #%llu: %s -> %s\n",
+                    (unsigned long long)id, req->toManifest().c_str(),
+                    requestPhaseName(req->phase));
+        const TraceReport *rep = master.report(id);
+        if (rep == nullptr)
+            continue;
+        std::printf("  period %.0f ms, %zu workers, merged accuracy "
+                    "%.1f%%, %.1f MB in OSS\n",
+                    cyclesToMs(rep->period), rep->traced_nodes.size(),
+                    100 * rep->merged_accuracy,
+                    rep->total_trace_bytes / 1048576.0);
+    }
+    std::printf("\nOSS: %zu objects, ODPS: %zu rows\n",
+                master.oss().objectCount(), master.odps().rowCount());
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    if (cmd == "list-apps")
+        return cmdListApps();
+    if (cmd == "trace")
+        return cmdTrace(argc - 2, argv + 2);
+    if (cmd == "cluster")
+        return cmdCluster(argc - 2, argv + 2);
+    return usage();
+}
