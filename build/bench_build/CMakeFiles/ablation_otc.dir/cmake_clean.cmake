@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_otc"
+  "../bench/ablation_otc.pdb"
+  "CMakeFiles/ablation_otc.dir/ablation_otc.cc.o"
+  "CMakeFiles/ablation_otc.dir/ablation_otc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_otc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

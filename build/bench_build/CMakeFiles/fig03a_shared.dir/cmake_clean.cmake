@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03a_shared"
+  "../bench/fig03a_shared.pdb"
+  "CMakeFiles/fig03a_shared.dir/fig03a_shared.cc.o"
+  "CMakeFiles/fig03a_shared.dir/fig03a_shared.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03a_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

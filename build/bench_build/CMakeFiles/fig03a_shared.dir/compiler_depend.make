@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03a_shared.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03a_shared.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03b_stressed"
+  "../bench/fig03b_stressed.pdb"
+  "CMakeFiles/fig03b_stressed.dir/fig03b_stressed.cc.o"
+  "CMakeFiles/fig03b_stressed.dir/fig03b_stressed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03b_stressed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03b_stressed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_events"
+  "../bench/fig04_events.pdb"
+  "CMakeFiles/fig04_events.dir/fig04_events.cc.o"
+  "CMakeFiles/fig04_events.dir/fig04_events.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

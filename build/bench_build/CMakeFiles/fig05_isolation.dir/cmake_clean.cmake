@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_isolation"
+  "../bench/fig05_isolation.pdb"
+  "CMakeFiles/fig05_isolation.dir/fig05_isolation.cc.o"
+  "CMakeFiles/fig05_isolation.dir/fig05_isolation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

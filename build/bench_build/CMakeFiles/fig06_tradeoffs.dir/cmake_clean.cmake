@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_tradeoffs"
+  "../bench/fig06_tradeoffs.pdb"
+  "CMakeFiles/fig06_tradeoffs.dir/fig06_tradeoffs.cc.o"
+  "CMakeFiles/fig06_tradeoffs.dir/fig06_tradeoffs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_ctxswitch_cdf"
+  "../bench/fig08_ctxswitch_cdf.pdb"
+  "CMakeFiles/fig08_ctxswitch_cdf.dir/fig08_ctxswitch_cdf.cc.o"
+  "CMakeFiles/fig08_ctxswitch_cdf.dir/fig08_ctxswitch_cdf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_ctxswitch_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_memory"
+  "../bench/fig11_memory.pdb"
+  "CMakeFiles/fig11_memory.dir/fig11_memory.cc.o"
+  "CMakeFiles/fig11_memory.dir/fig11_memory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_repetitions"
+  "../bench/fig12_repetitions.pdb"
+  "CMakeFiles/fig12_repetitions.dir/fig12_repetitions.cc.o"
+  "CMakeFiles/fig12_repetitions.dir/fig12_repetitions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_repetitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_spec"
+  "../bench/fig13_spec.pdb"
+  "CMakeFiles/fig13_spec.dir/fig13_spec.cc.o"
+  "CMakeFiles/fig13_spec.dir/fig13_spec.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_online"
+  "../bench/fig14_online.pdb"
+  "CMakeFiles/fig14_online.dir/fig14_online.cc.o"
+  "CMakeFiles/fig14_online.dir/fig14_online.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

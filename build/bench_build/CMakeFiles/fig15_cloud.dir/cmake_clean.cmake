@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_cloud"
+  "../bench/fig15_cloud.pdb"
+  "CMakeFiles/fig15_cloud.dir/fig15_cloud.cc.o"
+  "CMakeFiles/fig15_cloud.dir/fig15_cloud.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

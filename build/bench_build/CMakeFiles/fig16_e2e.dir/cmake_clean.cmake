@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_e2e"
+  "../bench/fig16_e2e.pdb"
+  "CMakeFiles/fig16_e2e.dir/fig16_e2e.cc.o"
+  "CMakeFiles/fig16_e2e.dir/fig16_e2e.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

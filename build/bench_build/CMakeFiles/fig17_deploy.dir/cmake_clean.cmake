@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_deploy"
+  "../bench/fig17_deploy.pdb"
+  "CMakeFiles/fig17_deploy.dir/fig17_deploy.cc.o"
+  "CMakeFiles/fig17_deploy.dir/fig17_deploy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

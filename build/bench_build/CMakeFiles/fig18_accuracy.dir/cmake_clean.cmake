@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_accuracy"
+  "../bench/fig18_accuracy.pdb"
+  "CMakeFiles/fig18_accuracy.dir/fig18_accuracy.cc.o"
+  "CMakeFiles/fig18_accuracy.dir/fig18_accuracy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

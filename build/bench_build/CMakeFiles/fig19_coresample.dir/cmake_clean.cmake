@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_coresample"
+  "../bench/fig19_coresample.pdb"
+  "CMakeFiles/fig19_coresample.dir/fig19_coresample.cc.o"
+  "CMakeFiles/fig19_coresample.dir/fig19_coresample.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_coresample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_augment"
+  "../bench/fig20_augment.pdb"
+  "CMakeFiles/fig20_augment.dir/fig20_augment.cc.o"
+  "CMakeFiles/fig20_augment.dir/fig20_augment.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_augment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

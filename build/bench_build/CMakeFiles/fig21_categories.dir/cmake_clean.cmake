@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig21_categories"
+  "../bench/fig21_categories.pdb"
+  "CMakeFiles/fig21_categories.dir/fig21_categories.cc.o"
+  "CMakeFiles/fig21_categories.dir/fig21_categories.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig22_memwidth.cc" "bench_build/CMakeFiles/fig22_memwidth.dir/fig22_memwidth.cc.o" "gcc" "bench_build/CMakeFiles/fig22_memwidth.dir/fig22_memwidth.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/exist_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/exist_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/exist_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/exist_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/decode/CMakeFiles/exist_decode.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/exist_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwtrace/CMakeFiles/exist_hwtrace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/exist_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/exist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exist_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

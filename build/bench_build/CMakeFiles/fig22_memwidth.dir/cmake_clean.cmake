@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig22_memwidth"
+  "../bench/fig22_memwidth.pdb"
+  "CMakeFiles/fig22_memwidth.dir/fig22_memwidth.cc.o"
+  "CMakeFiles/fig22_memwidth.dir/fig22_memwidth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_memwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_bench"
+  "../bench/micro_bench.pdb"
+  "CMakeFiles/micro_bench.dir/micro_bench.cc.o"
+  "CMakeFiles/micro_bench.dir/micro_bench.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_sota"
+  "../bench/table3_sota.pdb"
+  "CMakeFiles/table3_sota.dir/table3_sota.cc.o"
+  "CMakeFiles/table3_sota.dir/table3_sota.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_sota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

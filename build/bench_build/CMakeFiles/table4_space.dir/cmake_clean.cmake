@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_space"
+  "../bench/table4_space.pdb"
+  "CMakeFiles/table4_space.dir/table4_space.cc.o"
+  "CMakeFiles/table4_space.dir/table4_space.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_diagnosis.dir/anomaly_diagnosis.cpp.o"
+  "CMakeFiles/anomaly_diagnosis.dir/anomaly_diagnosis.cpp.o.d"
+  "anomaly_diagnosis"
+  "anomaly_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_orchestration.dir/cluster_orchestration.cpp.o"
+  "CMakeFiles/cluster_orchestration.dir/cluster_orchestration.cpp.o.d"
+  "cluster_orchestration"
+  "cluster_orchestration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_orchestration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

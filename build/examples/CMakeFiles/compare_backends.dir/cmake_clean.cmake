@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_backends.dir/compare_backends.cpp.o"
+  "CMakeFiles/compare_backends.dir/compare_backends.cpp.o.d"
+  "compare_backends"
+  "compare_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

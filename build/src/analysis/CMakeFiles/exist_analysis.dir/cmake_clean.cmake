@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exist_analysis.dir/accuracy.cc.o"
+  "CMakeFiles/exist_analysis.dir/accuracy.cc.o.d"
+  "CMakeFiles/exist_analysis.dir/attribution.cc.o"
+  "CMakeFiles/exist_analysis.dir/attribution.cc.o.d"
+  "CMakeFiles/exist_analysis.dir/behavior_report.cc.o"
+  "CMakeFiles/exist_analysis.dir/behavior_report.cc.o.d"
+  "CMakeFiles/exist_analysis.dir/ground_truth.cc.o"
+  "CMakeFiles/exist_analysis.dir/ground_truth.cc.o.d"
+  "CMakeFiles/exist_analysis.dir/report.cc.o"
+  "CMakeFiles/exist_analysis.dir/report.cc.o.d"
+  "CMakeFiles/exist_analysis.dir/testbed.cc.o"
+  "CMakeFiles/exist_analysis.dir/testbed.cc.o.d"
+  "libexist_analysis.a"
+  "libexist_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exist_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

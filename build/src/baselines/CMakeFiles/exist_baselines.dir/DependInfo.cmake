@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ebpf.cc" "src/baselines/CMakeFiles/exist_baselines.dir/ebpf.cc.o" "gcc" "src/baselines/CMakeFiles/exist_baselines.dir/ebpf.cc.o.d"
+  "/root/repo/src/baselines/nht.cc" "src/baselines/CMakeFiles/exist_baselines.dir/nht.cc.o" "gcc" "src/baselines/CMakeFiles/exist_baselines.dir/nht.cc.o.d"
+  "/root/repo/src/baselines/stasam.cc" "src/baselines/CMakeFiles/exist_baselines.dir/stasam.cc.o" "gcc" "src/baselines/CMakeFiles/exist_baselines.dir/stasam.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/exist_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwtrace/CMakeFiles/exist_hwtrace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/exist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/exist_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exist_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exist_baselines.dir/ebpf.cc.o"
+  "CMakeFiles/exist_baselines.dir/ebpf.cc.o.d"
+  "CMakeFiles/exist_baselines.dir/nht.cc.o"
+  "CMakeFiles/exist_baselines.dir/nht.cc.o.d"
+  "CMakeFiles/exist_baselines.dir/stasam.cc.o"
+  "CMakeFiles/exist_baselines.dir/stasam.cc.o.d"
+  "libexist_baselines.a"
+  "libexist_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exist_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

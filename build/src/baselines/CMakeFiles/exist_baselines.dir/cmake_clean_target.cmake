@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexist_baselines.a"
+)

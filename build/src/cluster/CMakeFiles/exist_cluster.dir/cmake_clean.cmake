@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exist_cluster.dir/cluster.cc.o"
+  "CMakeFiles/exist_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/exist_cluster.dir/crd.cc.o"
+  "CMakeFiles/exist_cluster.dir/crd.cc.o.d"
+  "CMakeFiles/exist_cluster.dir/master.cc.o"
+  "CMakeFiles/exist_cluster.dir/master.cc.o.d"
+  "CMakeFiles/exist_cluster.dir/storage.cc.o"
+  "CMakeFiles/exist_cluster.dir/storage.cc.o.d"
+  "libexist_cluster.a"
+  "libexist_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exist_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/exist_backend.cc" "src/core/CMakeFiles/exist_core.dir/exist_backend.cc.o" "gcc" "src/core/CMakeFiles/exist_core.dir/exist_backend.cc.o.d"
+  "/root/repo/src/core/otc.cc" "src/core/CMakeFiles/exist_core.dir/otc.cc.o" "gcc" "src/core/CMakeFiles/exist_core.dir/otc.cc.o.d"
+  "/root/repo/src/core/rco.cc" "src/core/CMakeFiles/exist_core.dir/rco.cc.o" "gcc" "src/core/CMakeFiles/exist_core.dir/rco.cc.o.d"
+  "/root/repo/src/core/uma.cc" "src/core/CMakeFiles/exist_core.dir/uma.cc.o" "gcc" "src/core/CMakeFiles/exist_core.dir/uma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/exist_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwtrace/CMakeFiles/exist_hwtrace.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/exist_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/exist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/exist_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exist_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exist_core.dir/exist_backend.cc.o"
+  "CMakeFiles/exist_core.dir/exist_backend.cc.o.d"
+  "CMakeFiles/exist_core.dir/otc.cc.o"
+  "CMakeFiles/exist_core.dir/otc.cc.o.d"
+  "CMakeFiles/exist_core.dir/rco.cc.o"
+  "CMakeFiles/exist_core.dir/rco.cc.o.d"
+  "CMakeFiles/exist_core.dir/uma.cc.o"
+  "CMakeFiles/exist_core.dir/uma.cc.o.d"
+  "libexist_core.a"
+  "libexist_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exist_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decode/flow_reconstructor.cc" "src/decode/CMakeFiles/exist_decode.dir/flow_reconstructor.cc.o" "gcc" "src/decode/CMakeFiles/exist_decode.dir/flow_reconstructor.cc.o.d"
+  "/root/repo/src/decode/packet_parser.cc" "src/decode/CMakeFiles/exist_decode.dir/packet_parser.cc.o" "gcc" "src/decode/CMakeFiles/exist_decode.dir/packet_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/exist_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/exist_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwtrace/CMakeFiles/exist_hwtrace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

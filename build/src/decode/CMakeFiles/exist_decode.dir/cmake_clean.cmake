@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exist_decode.dir/flow_reconstructor.cc.o"
+  "CMakeFiles/exist_decode.dir/flow_reconstructor.cc.o.d"
+  "CMakeFiles/exist_decode.dir/packet_parser.cc.o"
+  "CMakeFiles/exist_decode.dir/packet_parser.cc.o.d"
+  "libexist_decode.a"
+  "libexist_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exist_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

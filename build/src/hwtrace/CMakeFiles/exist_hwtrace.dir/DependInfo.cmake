@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwtrace/etm.cc" "src/hwtrace/CMakeFiles/exist_hwtrace.dir/etm.cc.o" "gcc" "src/hwtrace/CMakeFiles/exist_hwtrace.dir/etm.cc.o.d"
+  "/root/repo/src/hwtrace/msr.cc" "src/hwtrace/CMakeFiles/exist_hwtrace.dir/msr.cc.o" "gcc" "src/hwtrace/CMakeFiles/exist_hwtrace.dir/msr.cc.o.d"
+  "/root/repo/src/hwtrace/packet_writer.cc" "src/hwtrace/CMakeFiles/exist_hwtrace.dir/packet_writer.cc.o" "gcc" "src/hwtrace/CMakeFiles/exist_hwtrace.dir/packet_writer.cc.o.d"
+  "/root/repo/src/hwtrace/topa.cc" "src/hwtrace/CMakeFiles/exist_hwtrace.dir/topa.cc.o" "gcc" "src/hwtrace/CMakeFiles/exist_hwtrace.dir/topa.cc.o.d"
+  "/root/repo/src/hwtrace/tracer.cc" "src/hwtrace/CMakeFiles/exist_hwtrace.dir/tracer.cc.o" "gcc" "src/hwtrace/CMakeFiles/exist_hwtrace.dir/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/exist_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/exist_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exist_hwtrace.dir/etm.cc.o"
+  "CMakeFiles/exist_hwtrace.dir/etm.cc.o.d"
+  "CMakeFiles/exist_hwtrace.dir/msr.cc.o"
+  "CMakeFiles/exist_hwtrace.dir/msr.cc.o.d"
+  "CMakeFiles/exist_hwtrace.dir/packet_writer.cc.o"
+  "CMakeFiles/exist_hwtrace.dir/packet_writer.cc.o.d"
+  "CMakeFiles/exist_hwtrace.dir/topa.cc.o"
+  "CMakeFiles/exist_hwtrace.dir/topa.cc.o.d"
+  "CMakeFiles/exist_hwtrace.dir/tracer.cc.o"
+  "CMakeFiles/exist_hwtrace.dir/tracer.cc.o.d"
+  "libexist_hwtrace.a"
+  "libexist_hwtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exist_hwtrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/exist_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/exist_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/loadgen.cc" "src/os/CMakeFiles/exist_os.dir/loadgen.cc.o" "gcc" "src/os/CMakeFiles/exist_os.dir/loadgen.cc.o.d"
+  "/root/repo/src/os/service.cc" "src/os/CMakeFiles/exist_os.dir/service.cc.o" "gcc" "src/os/CMakeFiles/exist_os.dir/service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/exist_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/exist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/exist_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwtrace/CMakeFiles/exist_hwtrace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

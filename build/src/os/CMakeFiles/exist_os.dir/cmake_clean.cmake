@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exist_os.dir/kernel.cc.o"
+  "CMakeFiles/exist_os.dir/kernel.cc.o.d"
+  "CMakeFiles/exist_os.dir/loadgen.cc.o"
+  "CMakeFiles/exist_os.dir/loadgen.cc.o.d"
+  "CMakeFiles/exist_os.dir/service.cc.o"
+  "CMakeFiles/exist_os.dir/service.cc.o.d"
+  "libexist_os.a"
+  "libexist_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exist_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exist_sim.dir/event_queue.cc.o"
+  "CMakeFiles/exist_sim.dir/event_queue.cc.o.d"
+  "libexist_sim.a"
+  "libexist_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exist_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exist_util.dir/logging.cc.o"
+  "CMakeFiles/exist_util.dir/logging.cc.o.d"
+  "CMakeFiles/exist_util.dir/stats.cc.o"
+  "CMakeFiles/exist_util.dir/stats.cc.o.d"
+  "libexist_util.a"
+  "libexist_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exist_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

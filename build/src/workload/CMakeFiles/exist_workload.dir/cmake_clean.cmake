@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exist_workload.dir/app_profile.cc.o"
+  "CMakeFiles/exist_workload.dir/app_profile.cc.o.d"
+  "CMakeFiles/exist_workload.dir/program.cc.o"
+  "CMakeFiles/exist_workload.dir/program.cc.o.d"
+  "libexist_workload.a"
+  "libexist_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exist_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

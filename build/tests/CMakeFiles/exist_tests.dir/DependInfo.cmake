@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cc" "tests/CMakeFiles/exist_tests.dir/analysis_test.cc.o" "gcc" "tests/CMakeFiles/exist_tests.dir/analysis_test.cc.o.d"
+  "/root/repo/tests/attribution_test.cc" "tests/CMakeFiles/exist_tests.dir/attribution_test.cc.o" "gcc" "tests/CMakeFiles/exist_tests.dir/attribution_test.cc.o.d"
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/exist_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/exist_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/exist_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/exist_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/exist_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/exist_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/decode_test.cc" "tests/CMakeFiles/exist_tests.dir/decode_test.cc.o" "gcc" "tests/CMakeFiles/exist_tests.dir/decode_test.cc.o.d"
+  "/root/repo/tests/edge_test.cc" "tests/CMakeFiles/exist_tests.dir/edge_test.cc.o" "gcc" "tests/CMakeFiles/exist_tests.dir/edge_test.cc.o.d"
+  "/root/repo/tests/etm_test.cc" "tests/CMakeFiles/exist_tests.dir/etm_test.cc.o" "gcc" "tests/CMakeFiles/exist_tests.dir/etm_test.cc.o.d"
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/exist_tests.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/exist_tests.dir/fuzz_test.cc.o.d"
+  "/root/repo/tests/hwtrace_test.cc" "tests/CMakeFiles/exist_tests.dir/hwtrace_test.cc.o" "gcc" "tests/CMakeFiles/exist_tests.dir/hwtrace_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/exist_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/exist_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/os_test.cc" "tests/CMakeFiles/exist_tests.dir/os_test.cc.o" "gcc" "tests/CMakeFiles/exist_tests.dir/os_test.cc.o.d"
+  "/root/repo/tests/service_test.cc" "tests/CMakeFiles/exist_tests.dir/service_test.cc.o" "gcc" "tests/CMakeFiles/exist_tests.dir/service_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/exist_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/exist_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/smoke_test.cc" "tests/CMakeFiles/exist_tests.dir/smoke_test.cc.o" "gcc" "tests/CMakeFiles/exist_tests.dir/smoke_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/exist_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/exist_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/exist_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/exist_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/exist_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/exist_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/exist_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/exist_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/decode/CMakeFiles/exist_decode.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/exist_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwtrace/CMakeFiles/exist_hwtrace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/exist_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/exist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/exist_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

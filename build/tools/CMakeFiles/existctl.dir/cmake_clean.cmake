@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/existctl.dir/existctl.cc.o"
+  "CMakeFiles/existctl.dir/existctl.cc.o.d"
+  "existctl"
+  "existctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/existctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

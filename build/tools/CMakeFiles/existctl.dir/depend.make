@@ -1,0 +1,2 @@
+# Empty dependencies file for existctl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(existctl_list_apps "/root/repo/build/tools/existctl" "list-apps")
+set_tests_properties(existctl_list_apps PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(existctl_trace "/root/repo/build/tools/existctl" "trace" "ex" "--period-ms" "40" "--cores" "2")
+set_tests_properties(existctl_trace PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(existctl_trace_report "/root/repo/build/tools/existctl" "trace" "mc" "--period-ms" "40" "--report")
+set_tests_properties(existctl_trace_report PROPERTIES  TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(existctl_bad_usage "/root/repo/build/tools/existctl" "frobnicate")
+set_tests_properties(existctl_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
