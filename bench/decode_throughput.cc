@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Decode-throughput benchmark for the parallel decode runtime: collects
+ * the per-core trace buffers of one multi-core EXIST session, then
+ * measures serial FlowReconstructor decode vs ParallelDecoder fan-out
+ * at 1/2/4/8 threads. Wall-clock numbers (real time, not the
+ * simulator's virtual time — the decoder is the offline stage and its
+ * cost is real). Verifies on every configuration that the parallel
+ * result is bit-identical to the serial baseline.
+ *
+ * Besides the human-readable table, each configuration emits one
+ * machine-readable JSON line (prefix "JSON ") so CI can track the
+ * trajectory:
+ *   JSON {"bench":"decode_throughput","threads":4,...}
+ */
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "decode/parallel_decoder.h"
+
+using namespace exist;
+using namespace exist::bench;
+
+namespace {
+
+bool
+sameDecode(const DecodedTrace &a, const DecodedTrace &b)
+{
+    if (a.branches_decoded != b.branches_decoded ||
+        a.insns_decoded != b.insns_decoded ||
+        a.function_insns != b.function_insns ||
+        a.function_entries != b.function_entries ||
+        a.block_path != b.block_path || a.ptwrites != b.ptwrites ||
+        a.tnt_bits_consumed != b.tnt_bits_consumed ||
+        a.tips_consumed != b.tips_consumed ||
+        a.decode_errors != b.decode_errors || a.resyncs != b.resyncs ||
+        a.segments.size() != b.segments.size())
+        return false;
+    for (std::size_t i = 0; i < a.segments.size(); ++i) {
+        const DecodedSegment &x = a.segments[i];
+        const DecodedSegment &y = b.segments[i];
+        if (x.start_time != y.start_time || x.end_time != y.end_time ||
+            x.first_offset != y.first_offset ||
+            x.branches != y.branches)
+            return false;
+    }
+    return true;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+}  // namespace
+
+int
+main()
+{
+    printBanner("Decode throughput: serial FlowReconstructor vs "
+                "ParallelDecoder over one multi-core session");
+
+    // An 8-core node under service load so every core collects trace
+    // bytes; keep_traces hands us the raw per-core buffers.
+    ExperimentSpec spec;
+    spec.node.num_cores = 8;
+    WorkloadSpec w{.app = "Search1", .target = true,
+                   .closed_clients = 12};
+    w.workers = 16;
+    spec.workloads.push_back(std::move(w));
+    spec.backend = "EXIST";
+    spec.session.period = scaledSeconds(0.4);
+    spec.warmup = secondsToCycles(0.05);
+    spec.keep_traces = true;
+    ExperimentResult r = Testbed::run(spec);
+
+    std::uint64_t total_bytes = 0;
+    for (const CollectedTrace &ct : r.raw_traces)
+        total_bytes += ct.bytes.size();
+    std::printf("collected %zu per-core buffers, %.1f MB total\n\n",
+                r.raw_traces.size(), total_bytes / 1048576.0);
+    if (r.raw_traces.empty()) {
+        std::fputs("no trace buffers collected; aborting\n", stderr);
+        return 1;
+    }
+
+    auto binary = Testbed::binaryForApp("Search1");
+
+    // Serial baseline: the historical one-thread decode loop.
+    FlowReconstructor serial_rec(binary.get());
+    std::vector<DecodedTrace> baseline;
+    for (const CollectedTrace &ct : r.raw_traces)
+        baseline.push_back(serial_rec.decode(ct.bytes));
+    std::uint64_t total_segments = 0;
+    for (const DecodedTrace &dt : baseline)
+        total_segments += dt.segments.size();
+
+    // Repeat each timed configuration until it accumulates enough wall
+    // time for a stable rate.
+    const double kMinSeconds = 0.25;
+    const int kMinReps = 3;
+    auto timeDecode = [&](const std::function<void()> &fn) {
+        fn();  // warm caches
+        int reps = 0;
+        auto t0 = std::chrono::steady_clock::now();
+        double elapsed = 0.0;
+        while (reps < kMinReps || elapsed < kMinSeconds) {
+            fn();
+            ++reps;
+            elapsed = secondsSince(t0);
+        }
+        return elapsed / reps;
+    };
+
+    double serial_s = timeDecode([&]() {
+        for (const CollectedTrace &ct : r.raw_traces)
+            serial_rec.decode(ct.bytes);
+    });
+    double serial_segs = total_segments / serial_s;
+
+    TableWriter table({"Mode", "Threads", "Time(ms)", "Segments/s",
+                       "MB/s", "Speedup", "Identical"});
+    table.row({"serial", "1", TableWriter::num(serial_s * 1e3),
+               TableWriter::num(serial_segs, 0),
+               TableWriter::num(total_bytes / serial_s / 1048576.0),
+               "1.00", "ref"});
+    std::printf("JSON {\"bench\":\"decode_throughput\","
+                "\"mode\":\"serial\",\"threads\":1,"
+                "\"buffers\":%zu,\"bytes\":%llu,\"segments\":%llu,"
+                "\"seconds\":%.6f,\"segments_per_sec\":%.1f,"
+                "\"speedup\":1.0,\"identical\":true}\n",
+                r.raw_traces.size(), (unsigned long long)total_bytes,
+                (unsigned long long)total_segments, serial_s,
+                serial_segs);
+
+    for (int threads : {1, 2, 4, 8}) {
+        ParallelDecoder dec(binary.get(), {}, threads);
+        auto decoded = dec.decodeAll(r.raw_traces);
+        bool identical = decoded.size() == baseline.size();
+        for (std::size_t i = 0; identical && i < decoded.size(); ++i)
+            identical = decoded[i].first == r.raw_traces[i].core &&
+                        sameDecode(decoded[i].second, baseline[i]);
+
+        double s = timeDecode([&]() { dec.decodeAll(r.raw_traces); });
+        double speedup = s > 0 ? serial_s / s : 0.0;
+        table.row({"parallel", std::to_string(threads),
+                   TableWriter::num(s * 1e3),
+                   TableWriter::num(total_segments / s, 0),
+                   TableWriter::num(total_bytes / s / 1048576.0),
+                   TableWriter::num(speedup), identical ? "yes" : "NO"});
+        std::printf("JSON {\"bench\":\"decode_throughput\","
+                    "\"mode\":\"parallel\",\"threads\":%d,"
+                    "\"buffers\":%zu,\"bytes\":%llu,\"segments\":%llu,"
+                    "\"seconds\":%.6f,\"segments_per_sec\":%.1f,"
+                    "\"speedup\":%.3f,\"identical\":%s}\n",
+                    threads, r.raw_traces.size(),
+                    (unsigned long long)total_bytes,
+                    (unsigned long long)total_segments, s,
+                    total_segments / s, speedup,
+                    identical ? "true" : "false");
+        if (!identical) {
+            std::fputs("parallel decode diverged from serial!\n",
+                       stderr);
+            return 1;
+        }
+    }
+    std::printf("\n");
+    table.print();
+    std::printf("\nhardware threads available: %u (speedup saturates "
+                "at min(buffers, hardware threads))\n",
+                std::thread::hardware_concurrency());
+    return 0;
+}

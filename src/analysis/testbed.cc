@@ -1,6 +1,7 @@
 #include "analysis/testbed.h"
 
 #include <map>
+#include <mutex>
 #include <unordered_map>
 
 #include "analysis/accuracy.h"
@@ -10,7 +11,7 @@
 #include "baselines/oracle.h"
 #include "baselines/stasam.h"
 #include "core/exist_backend.h"
-#include "decode/flow_reconstructor.h"
+#include "decode/parallel_decoder.h"
 #include "os/loadgen.h"
 #include "os/service.h"
 #include "util/logging.h"
@@ -32,22 +33,31 @@ stableHash(const std::string &s)
 }
 
 /** Cache binaries: generation is deterministic in (profile, seed), and
- *  sharing them keeps multi-run benchmarks fast. */
+ *  sharing them keeps multi-run benchmarks fast. Mutex-guarded because
+ *  sessions may run concurrently on pool workers (parallel cluster
+ *  reconcile); generation happens outside the lock so a slow generate
+ *  does not serialize unrelated sessions. */
 std::shared_ptr<const ProgramBinary>
 binaryFor(const std::string &app, std::uint64_t seed)
 {
+    static std::mutex mu;
     static std::map<std::pair<std::string, std::uint64_t>,
                     std::shared_ptr<const ProgramBinary>>
         cache;
     auto key = std::make_pair(app, seed);
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
     AppProfile profile = AppCatalog::find(app);
     auto bin = std::make_shared<const ProgramBinary>(
         ProgramBinary::generate(profile, seed));
-    cache.emplace(key, bin);
-    return bin;
+    std::lock_guard<std::mutex> lk(mu);
+    // A racing generator may have inserted first; keep the winner so
+    // every caller shares one instance.
+    return cache.emplace(key, bin).first->second;
 }
 
 struct DeployedWorkload {
@@ -293,14 +303,19 @@ Testbed::run(const ExperimentSpec &spec)
         const ProgramBinary &binary = session.target->binary();
         DecodeOptions opts;
         opts.record_path = spec.record_paths;
-        FlowReconstructor rec(&binary, opts);
+
+        // Per-core buffers are independent; fan the decode across the
+        // pool and aggregate in collection order, which keeps every
+        // result field bit-identical to the serial path.
+        ParallelDecoder rec(&binary, opts, spec.decode_threads);
+        std::vector<std::pair<CoreId, DecodedTrace>> decoded =
+            rec.decodeAll(collected);
 
         result.decoded_function_insns.assign(binary.numFunctions(), 0);
         result.decoded_function_entries.assign(binary.numFunctions(), 0);
         std::uint64_t path_matched = 0, path_total = 0;
 
-        for (CollectedTrace &ct : collected) {
-            DecodedTrace dt = rec.decode(ct.bytes);
+        for (const auto &[core, dt] : decoded) {
             result.decoded_branches += dt.branches_decoded;
             result.decode_errors += dt.decode_errors;
             for (std::size_t f = 0; f < dt.function_insns.size(); ++f) {
@@ -308,12 +323,12 @@ Testbed::run(const ExperimentSpec &spec)
                 result.decoded_function_entries[f] +=
                     dt.function_entries[f];
             }
-            if (spec.record_paths && ct.core != kInvalidId &&
-                static_cast<std::size_t>(ct.core) <
+            if (spec.record_paths && core != kInvalidId &&
+                static_cast<std::size_t>(core) <
                     truth.paths().size()) {
                 PathMatch pm = matchPath(
                     dt.block_path,
-                    truth.paths()[static_cast<std::size_t>(ct.core)]);
+                    truth.paths()[static_cast<std::size_t>(core)]);
                 path_matched += pm.matched;
                 path_total += dt.block_path.size();
             }

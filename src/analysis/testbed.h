@@ -49,6 +49,11 @@ struct ExperimentSpec {
     /** Keep the raw per-core trace bytes in the result (for upload to
      *  an object store by the cluster layer). */
     bool keep_traces = false;
+    /** Workers for the per-core decode fan-out: 0 = the process-wide
+     *  shared pool (hardware concurrency), 1 = inline serial decode,
+     *  N > 1 = a dedicated pool. Output is bit-identical at any
+     *  setting; this only changes wall-clock decode time. */
+    int decode_threads = 0;
     std::uint64_t seed = 1;
 };
 

@@ -4,13 +4,31 @@
 
 #include "analysis/accuracy.h"
 #include "analysis/testbed.h"
+#include "runtime/thread_pool.h"
 #include "util/logging.h"
 #include "workload/app_profile.h"
 
 namespace exist {
 
-Master::Master(Cluster *cluster, RcoConfig rco_cfg)
-    : cluster_(cluster), rco_(rco_cfg),
+/** One worker-node tracing session to run (independent of all
+ *  others once planned). */
+struct Master::SessionPlan {
+    NodeId node = kInvalidId;
+    ExperimentSpec spec;
+    ExperimentResult result;
+};
+
+/** Everything reconcile decided for one request during planning, plus
+ *  the per-worker session slots filled in by the parallel phase. */
+struct Master::RequestPlan {
+    TraceRequest *req = nullptr;
+    Cycles period = 0;
+    std::vector<int> workers;
+    std::vector<SessionPlan> sessions;
+};
+
+Master::Master(Cluster *cluster, RcoConfig rco_cfg, int threads)
+    : cluster_(cluster), rco_(rco_cfg), threads_(threads),
       rng_(cluster->config().seed ^ 0x6d617374ULL)
 {
 }
@@ -48,49 +66,77 @@ Master::report(std::uint64_t id) const
 void
 Master::reconcile()
 {
+    // Phase 1 — plan serially in request-id order: every RCO decision
+    // and RNG draw happens in the same order as the historical
+    // one-request-at-a-time loop, so the chosen periods and worker
+    // sets are unchanged.
+    std::vector<RequestPlan> plans;
     for (auto &[id, req] : requests_)
         if (req.phase == RequestPhase::kPending)
-            reconcileOne(req);
+            plans.push_back(planOne(req));
+
+    // Phase 2 — run every (request, worker-node) session concurrently:
+    // sessions are independent simulations, so they fan out across the
+    // pool. Flatten to one task list so a request with one slow node
+    // does not serialize the others.
+    std::vector<SessionPlan *> jobs;
+    for (RequestPlan &plan : plans)
+        for (SessionPlan &s : plan.sessions)
+            jobs.push_back(&s);
+
+    auto runJob = [&](std::size_t i) {
+        jobs[i]->result = Testbed::run(jobs[i]->spec);
+    };
+    if (threads_ == 1 || jobs.size() <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            runJob(i);
+    } else if (threads_ > 1) {
+        ThreadPool pool(threads_);
+        pool.parallelFor(0, jobs.size(), runJob);
+    } else {
+        ThreadPool::shared().parallelFor(0, jobs.size(), runJob);
+    }
+    sessions_run_ += jobs.size();
+
+    // Phase 3 — publish serially in request-id order: OSS uploads,
+    // ODPS rows and report assembly see session results in the same
+    // order as the serial implementation.
+    for (RequestPlan &plan : plans)
+        publishOne(plan);
 }
 
-void
-Master::reconcileOne(TraceRequest &req)
+Master::RequestPlan
+Master::planOne(TraceRequest &req)
 {
+    RequestPlan plan;
+    plan.req = &req;
     req.phase = RequestPhase::kRunning;
 
     if (cluster_->replicasOf(req.app) == 0) {
         warn("trace request %llu: app %s not deployed",
              (unsigned long long)req.id, req.app.c_str());
         req.phase = RequestPhase::kFailed;
-        return;
+        return plan;
     }
 
     // Temporal decider + spatial sampler (§3.4).
     AppDeployment meta = cluster_->metadataFor(req.app, req.anomaly);
-    Cycles period = req.period_override ? req.period_override
-                                        : rco_.decidePeriod(meta);
-    std::vector<int> workers = rco_.selectWorkers(meta, rng_);
+    plan.period = req.period_override ? req.period_override
+                                      : rco_.decidePeriod(meta);
+    plan.workers = rco_.selectWorkers(meta, rng_);
     auto pods = cluster_->podsOf(req.app);
 
-    TraceReport report;
-    report.request_id = req.id;
-    report.app = req.app;
-    report.period = period;
-
-    std::vector<std::vector<std::uint64_t>> decoded_profiles;
-    std::vector<std::vector<std::uint64_t>> truth_profiles;
-    double cpi_sum = 0.0;
-
-    for (int widx : workers) {
-        const PodInstance *pod =
-            pods[static_cast<std::size_t>(widx)];
+    for (int widx : plan.workers) {
+        const PodInstance *pod = pods[static_cast<std::size_t>(widx)];
 
         // Node-level session: simulate this worker node with every pod
         // placed on it, tracing the requested app with EXIST.
-        ExperimentSpec spec;
+        SessionPlan session;
+        session.node = pod->node;
+        ExperimentSpec &spec = session.spec;
         spec.node.num_cores = cluster_->config().cores_per_node;
         spec.backend = "EXIST";
-        spec.session.period = period;
+        spec.session.period = plan.period;
         spec.session.budget_mb = req.budget_mb;
         spec.session.ring_buffers = req.ring_buffers;
         spec.session.core_sample_ratio = req.core_sample_ratio;
@@ -101,10 +147,12 @@ Master::reconcileOne(TraceRequest &req)
         spec.seed = cluster_->config().seed * 1000003ULL +
                     static_cast<std::uint64_t>(pod->node) * 131ULL +
                     req.id;
+        // Sessions already fan out across the pool; per-core decode
+        // inside each session shares it rather than nesting new pools.
+        spec.decode_threads = threads_ == 1 ? 1 : 0;
 
         std::vector<std::string> seen;
-        for (const PodInstance *other :
-             cluster_->podsOn(pod->node)) {
+        for (const PodInstance *other : cluster_->podsOn(pod->node)) {
             if (std::find(seen.begin(), seen.end(), other->app) !=
                 seen.end())
                 continue;
@@ -116,9 +164,29 @@ Master::reconcileOne(TraceRequest &req)
                 w.closed_clients = 4;
             spec.workloads.push_back(std::move(w));
         }
+        plan.sessions.push_back(std::move(session));
+    }
+    return plan;
+}
 
-        ExperimentResult result = Testbed::run(spec);
-        ++sessions_run_;
+void
+Master::publishOne(RequestPlan &plan)
+{
+    TraceRequest &req = *plan.req;
+    if (req.phase != RequestPhase::kRunning)
+        return;  // failed during planning
+
+    TraceReport report;
+    report.request_id = req.id;
+    report.app = req.app;
+    report.period = plan.period;
+
+    std::vector<std::vector<std::uint64_t>> decoded_profiles;
+    std::vector<std::vector<std::uint64_t>> truth_profiles;
+    double cpi_sum = 0.0;
+
+    for (SessionPlan &session : plan.sessions) {
+        ExperimentResult &result = session.result;
 
         // Data path: raw trace objects go to OSS, decoded rows to ODPS.
         std::uint64_t bytes = 0;
@@ -127,7 +195,7 @@ Master::reconcileOne(TraceRequest &req)
             bytes += ct.bytes.size();
             std::string key = "traces/" + req.app + "/req" +
                               std::to_string(req.id) + "/node" +
-                              std::to_string(pod->node) + "/core" +
+                              std::to_string(session.node) + "/core" +
                               std::to_string(ct.core);
             oss_.put(key, ct.bytes);
         }
@@ -135,16 +203,16 @@ Master::reconcileOne(TraceRequest &req)
 
         TraceRow row;
         row.app = req.app;
-        row.node = pod->node;
+        row.node = session.node;
         row.request_id = req.id;
-        row.period = period;
+        row.period = plan.period;
         row.decoded_branches = result.decoded_branches;
         row.accuracy = result.accuracy_wall;
         row.function_insns = result.decoded_function_insns;
         row.function_entries = result.decoded_function_entries;
         odps_.insert(std::move(row));
 
-        report.traced_nodes.push_back(pod->node);
+        report.traced_nodes.push_back(session.node);
         report.per_worker_accuracy.push_back(result.accuracy_wall);
         decoded_profiles.push_back(result.decoded_function_insns);
         truth_profiles.push_back(result.truth_function_insns);
@@ -160,8 +228,9 @@ Master::reconcileOne(TraceRequest &req)
         wallWeightAccuracy(report.merged_function_insns,
                            report.merged_truth_function_insns);
     report.mean_target_cpi =
-        workers.empty() ? 0.0
-                        : cpi_sum / static_cast<double>(workers.size());
+        plan.workers.empty()
+            ? 0.0
+            : cpi_sum / static_cast<double>(plan.workers.size());
 
     reports_.emplace(req.id, std::move(report));
     req.phase = RequestPhase::kCompleted;

@@ -46,7 +46,17 @@ struct TraceReport {
 class Master
 {
   public:
-    Master(Cluster *cluster, RcoConfig rco_cfg = {});
+    /**
+     * threads: parallelism for reconcile — worker-node sessions (and
+     * their per-core decode fan-out) run on a pool of this width.
+     * 0 = the process-wide shared pool, 1 = fully serial (the
+     * historical behaviour). Reports are bit-identical at any setting:
+     * planning (RCO decisions, RNG draws) and publishing (OSS/ODPS
+     * writes, report assembly) stay serial in request order; only the
+     * independent node sessions run concurrently.
+     */
+    explicit Master(Cluster *cluster, RcoConfig rco_cfg = {},
+                    int threads = 0);
 
     /** Create a TraceRequest object (API server write). */
     std::uint64_t submit(TraceRequest req);
@@ -73,10 +83,19 @@ class Master
     std::uint64_t sessionsRun() const { return sessions_run_; }
 
   private:
-    void reconcileOne(TraceRequest &req);
+    struct SessionPlan;
+    struct RequestPlan;
+
+    /** Phase 1: consume RCO/RNG state and emit the session specs for
+     *  one pending request (serial, deterministic). */
+    RequestPlan planOne(TraceRequest &req);
+    /** Phase 3: upload traces, write rows, assemble the report from
+     *  completed session results (serial, deterministic). */
+    void publishOne(RequestPlan &plan);
 
     Cluster *cluster_;
     RepetitionAwareCoverageOptimizer rco_;
+    int threads_;
     Rng rng_;
     std::map<std::uint64_t, TraceRequest> requests_;
     std::map<std::uint64_t, TraceReport> reports_;

@@ -1,0 +1,46 @@
+#include "decode/parallel_decoder.h"
+
+#include "runtime/thread_pool.h"
+
+namespace exist {
+
+ParallelDecoder::ParallelDecoder(const ProgramBinary *prog,
+                                 DecodeOptions opts, int threads)
+    : reconstructor_(prog, opts)
+{
+    if (threads == 0) {
+        pool_ = &ThreadPool::shared();
+    } else if (threads > 1) {
+        owned_pool_ = std::make_unique<ThreadPool>(threads);
+        pool_ = owned_pool_.get();
+    }
+}
+
+ParallelDecoder::~ParallelDecoder() = default;
+
+int
+ParallelDecoder::threads() const
+{
+    return pool_ != nullptr ? pool_->size() : 1;
+}
+
+std::vector<std::pair<CoreId, DecodedTrace>>
+ParallelDecoder::decodeViews(
+    const std::vector<TraceBufferView> &views) const
+{
+    std::vector<std::pair<CoreId, DecodedTrace>> out(views.size());
+    auto one = [&](std::size_t i) {
+        out[i].first = views[i].core;
+        out[i].second =
+            reconstructor_.decode(views[i].data, views[i].size);
+    };
+    if (pool_ == nullptr || views.size() <= 1) {
+        for (std::size_t i = 0; i < views.size(); ++i)
+            one(i);
+    } else {
+        pool_->parallelFor(0, views.size(), one);
+    }
+    return out;
+}
+
+}  // namespace exist

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Multi-core decode front-end: fans a session's per-core trace buffers
+ * across the work-stealing pool and merges the per-buffer
+ * DecodedTraces deterministically. Per-core ToPA buffers are
+ * independent by construction (the five-tuple switch log, not the
+ * byte streams, carries cross-core ordering), so each buffer decodes
+ * on its own worker with a shared read-only FlowReconstructor; the
+ * result vector preserves the collection order (ascending core id),
+ * which makes the parallel output bit-identical to the serial path at
+ * any thread count.
+ */
+#ifndef EXIST_DECODE_PARALLEL_DECODER_H
+#define EXIST_DECODE_PARALLEL_DECODER_H
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "decode/flow_reconstructor.h"
+#include "util/types.h"
+
+namespace exist {
+
+class ThreadPool;
+
+/** Non-owning view of one core's collected trace bytes. */
+struct TraceBufferView {
+    CoreId core = kInvalidId;
+    const std::uint8_t *data = nullptr;
+    std::size_t size = 0;
+};
+
+class ParallelDecoder
+{
+  public:
+    /**
+     * threads == 0 uses the process-wide shared pool (hardware
+     * concurrency); threads == 1 decodes inline on the caller thread,
+     * preserving the historical serial behaviour exactly; threads > 1
+     * runs a dedicated pool of that width.
+     */
+    explicit ParallelDecoder(const ProgramBinary *prog,
+                             DecodeOptions opts = {}, int threads = 0);
+    ~ParallelDecoder();
+
+    /** Effective worker count (1 for the inline-serial mode). */
+    int threads() const;
+
+    /** Decode every view; result i corresponds to input view i. */
+    std::vector<std::pair<CoreId, DecodedTrace>>
+    decodeViews(const std::vector<TraceBufferView> &views) const;
+
+    /** Decode any container of CollectedTrace-shaped items (anything
+     *  with `.core` and `.bytes` members), preserving input order. */
+    template <typename Container>
+    std::vector<std::pair<CoreId, DecodedTrace>>
+    decodeAll(const Container &traces) const
+    {
+        std::vector<TraceBufferView> views;
+        views.reserve(traces.size());
+        for (const auto &t : traces)
+            views.push_back(
+                TraceBufferView{t.core, t.bytes.data(), t.bytes.size()});
+        return decodeViews(views);
+    }
+
+  private:
+    FlowReconstructor reconstructor_;
+    /** Null in inline-serial mode; else the pool decode runs on. */
+    ThreadPool *pool_ = nullptr;
+    std::unique_ptr<ThreadPool> owned_pool_;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_DECODE_PARALLEL_DECODER_H

@@ -1,11 +1,15 @@
 #include "hwtrace/msr.h"
 
+#include <atomic>
+
 #include "util/logging.h"
 
 namespace exist {
 
 namespace {
-std::uint64_t g_global_writes = 0;
+// Atomic: sessions may run concurrently on pool workers (parallel
+// cluster reconcile), and each simulated WRMSR lands here.
+std::atomic<std::uint64_t> g_global_writes{0};
 }  // namespace
 
 MsrAccessResult

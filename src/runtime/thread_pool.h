@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Work-stealing thread pool for the offline stages of the pipeline
+ * (trace decoding, cluster reconcile fan-out). The paper's design
+ * pushes all heavy work off the traced node into the decoder, so the
+ * decoder's throughput — not capture — bounds end-to-end observability;
+ * per-core ToPA buffers are independent by construction, which makes
+ * that work embarrassingly parallel.
+ *
+ * Shape: fixed worker threads, one deque per worker. A worker pops its
+ * own deque LIFO (cache-warm) and steals FIFO from a victim when empty.
+ * Tasks submitted from a worker thread go to that worker's deque; tasks
+ * submitted from outside are distributed round-robin. Exceptions
+ * propagate to the caller through the returned futures. Destruction
+ * drains every queued task before joining, so submitted work is never
+ * silently dropped.
+ */
+#ifndef EXIST_RUNTIME_THREAD_POOL_H
+#define EXIST_RUNTIME_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace exist {
+
+class ThreadPool
+{
+  public:
+    /** threads == 0 picks defaultThreads(). */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /** Hardware concurrency, clamped to at least 1. */
+    static int defaultThreads();
+
+    /** Process-wide pool of defaultThreads() workers, built lazily.
+     *  Shared by every decode/reconcile site that does not request a
+     *  specific width, so nested parallelism queues instead of
+     *  oversubscribing. */
+    static ThreadPool &shared();
+
+    /** Schedule a callable; the future carries its result or its
+     *  exception. */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        push([task]() { (*task)(); });
+        return fut;
+    }
+
+    /**
+     * Run body(i) for every i in [begin, end) and block until all
+     * complete. Runs inline for single-worker pools or trivial ranges.
+     * The calling thread helps execute queued tasks while it waits, so
+     * a worker may call parallelFor without deadlocking its own pool.
+     * The first exception thrown by any iteration is rethrown here.
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t)> &body);
+
+  private:
+    using Task = std::function<void()>;
+
+    struct WorkerDeque {
+        std::mutex mu;
+        std::deque<Task> tasks;
+    };
+
+    void push(Task task);
+    void workerLoop(std::size_t index);
+    /** Pop from own deque, else steal; false if everything is empty. */
+    bool takeTask(std::size_t home, Task &out);
+    bool popLocal(std::size_t index, Task &out);
+    bool stealFrom(std::size_t victim, Task &out);
+
+    std::vector<std::unique_ptr<WorkerDeque>> deques_;
+    std::vector<std::thread> workers_;
+
+    // Queued-task count and stop flag; both are mutated under idle_mu_
+    // before notifying so sleeping workers cannot miss a wakeup.
+    std::mutex idle_mu_;
+    std::condition_variable idle_cv_;
+    std::atomic<std::size_t> queued_{0};
+    std::atomic<std::size_t> next_queue_{0};
+    std::atomic<bool> stop_{false};
+};
+
+}  // namespace exist
+
+#endif  // EXIST_RUNTIME_THREAD_POOL_H

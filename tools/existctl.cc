@@ -9,15 +9,20 @@
  *   existctl trace <app> [--period-ms N] [--budget-mb N]
  *                        [--backend EXIST|StaSam|eBPF|NHT]
  *                        [--cores N] [--clients N] [--report]
+ *                        [--threads N]
  *       Run one node-level tracing session against a synthetic
  *       deployment of <app> and print the session statistics; with
  *       --report, also synthesize the human-readable behaviour report.
  *
- *   existctl cluster <manifest>...
+ *   existctl cluster <manifest>... [--threads N]
  *       Stand up a demo ten-node cluster with the cloud applications
  *       deployed, apply each TraceRequest manifest (e.g.
  *       "app=Search1 anomaly=true period_ms=200"), reconcile, and
  *       print the merged reports.
+ *
+ * --threads N sets the decode/reconcile parallelism (default: hardware
+ * concurrency; --threads 1 is the fully serial path). The output is
+ * bit-identical at any thread count — threads only change wall time.
  */
 #include <cstdio>
 #include <cstring>
@@ -29,7 +34,7 @@
 #include "analysis/testbed.h"
 #include "cluster/master.h"
 #include "core/exist_backend.h"
-#include "decode/flow_reconstructor.h"
+#include "decode/parallel_decoder.h"
 #include "workload/app_profile.h"
 
 using namespace exist;
@@ -43,8 +48,8 @@ usage()
         "usage: existctl list-apps\n"
         "       existctl trace <app> [--period-ms N] [--budget-mb N]\n"
         "                      [--backend NAME] [--cores N]\n"
-        "                      [--clients N] [--report]\n"
-        "       existctl cluster <manifest>...\n",
+        "                      [--clients N] [--report] [--threads N]\n"
+        "       existctl cluster <manifest>... [--threads N]\n",
         stderr);
     return 2;
 }
@@ -76,6 +81,7 @@ cmdTrace(int argc, char **argv)
     int cores = 4;
     int clients = 10;
     bool report = false;
+    int threads = 0;  // 0 = default pool (hardware concurrency)
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -98,6 +104,8 @@ cmdTrace(int argc, char **argv)
             clients = std::atoi(next());
         else if (arg == "--report")
             report = true;
+        else if (arg == "--threads")
+            threads = std::atoi(next());
         else
             return usage();
     }
@@ -115,6 +123,7 @@ cmdTrace(int argc, char **argv)
     spec.session.budget_mb = budget_mb;
     spec.decode = true;
     spec.keep_traces = report;
+    spec.decode_threads = threads;
 
     std::printf("tracing '%s' with %s for %.0f ms on a %d-core node "
                 "(budget %llu MB)...\n",
@@ -145,10 +154,9 @@ cmdTrace(int argc, char **argv)
 
     if (report && !r.raw_traces.empty()) {
         auto binary = Testbed::binaryForApp(app);
-        FlowReconstructor decoder(binary.get());
-        std::vector<std::pair<CoreId, DecodedTrace>> decoded;
-        for (const CollectedTrace &ct : r.raw_traces)
-            decoded.emplace_back(ct.core, decoder.decode(ct.bytes));
+        ParallelDecoder decoder(binary.get(), {}, threads);
+        std::vector<std::pair<CoreId, DecodedTrace>> decoded =
+            decoder.decodeAll(r.raw_traces);
         std::printf("\n%s", BehaviorReport::synthesize(
                                 *binary, decoded, r.switch_log)
                                 .c_str());
@@ -159,7 +167,20 @@ cmdTrace(int argc, char **argv)
 int
 cmdCluster(int argc, char **argv)
 {
-    if (argc < 1)
+    int threads = 0;
+    std::vector<const char *> manifests;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0) {
+            if (i + 1 >= argc) {
+                std::fputs("missing value for --threads\n", stderr);
+                return 2;
+            }
+            threads = std::atoi(argv[++i]);
+        } else {
+            manifests.push_back(argv[i]);
+        }
+    }
+    if (manifests.empty())
         return usage();
 
     ClusterConfig cc;
@@ -171,11 +192,11 @@ cmdCluster(int argc, char **argv)
     cluster.deploy("Cache", 6);
     cluster.deploy("Pred", 4);
     cluster.deploy("Agent", 10);
-    Master master(&cluster);
+    Master master(&cluster, {}, threads);
 
     std::vector<std::uint64_t> ids;
-    for (int i = 0; i < argc; ++i)
-        ids.push_back(master.apply(argv[i]));
+    for (const char *manifest : manifests)
+        ids.push_back(master.apply(manifest));
     master.reconcile();
 
     for (std::uint64_t id : ids) {
