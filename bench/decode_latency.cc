@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Trace-end-to-report-ready latency: batch ParallelDecoder vs the
+ * streaming decode pipeline. Both modes run the identical seeded
+ * session (same node, workload, period), so they collect identical
+ * trace bytes; the only difference is *when* flow reconstruction
+ * happens. Batch starts decoding after the session stops; streaming
+ * reconstructs each ToPA region as it fills, so at trace end only the
+ * stream tails remain. The measured quantity is real wall-clock time
+ * from tracing stop to decoded results ready (ExperimentResult
+ * report_latency_s) — the simulator's virtual time is untouched by
+ * either mode.
+ *
+ * Verifies on every configuration that the streaming run's decode
+ * fields are bit-identical to the batch run's (exit 1 otherwise).
+ *
+ * Each configuration emits one machine-readable JSON line
+ * (prefix "JSON ") so CI can track the trajectory:
+ *   JSON {"bench":"decode_latency","mode":"streaming","threads":2,...}
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.h"
+
+using namespace exist;
+using namespace exist::bench;
+
+namespace {
+
+/** The decode-derived results two runs must agree on. */
+bool
+sameReport(const ExperimentResult &a, const ExperimentResult &b)
+{
+    return a.truth_branches == b.truth_branches &&
+           a.decoded_branches == b.decoded_branches &&
+           a.decode_errors == b.decode_errors &&
+           a.decoded_function_insns == b.decoded_function_insns &&
+           a.decoded_function_entries == b.decoded_function_entries &&
+           a.truth_function_insns == b.truth_function_insns &&
+           a.accuracy_coverage == b.accuracy_coverage &&
+           a.accuracy_wall == b.accuracy_wall &&
+           a.path_precision == b.path_precision;
+}
+
+ExperimentSpec
+makeSpec(bool streaming, int threads)
+{
+    // Same shape as decode_throughput: an 8-core node under service
+    // load so every core collects trace bytes worth decoding.
+    ExperimentSpec spec;
+    spec.node.num_cores = 8;
+    WorkloadSpec w{.app = "Search1", .target = true,
+                   .closed_clients = 12};
+    w.workers = 16;
+    spec.workloads.push_back(std::move(w));
+    spec.backend = "EXIST";
+    spec.session.period = scaledSeconds(0.4);
+    spec.warmup = secondsToCycles(0.05);
+    spec.decode = true;
+    spec.ground_truth = true;
+    spec.record_paths = true;
+    spec.streaming = streaming;
+    spec.decode_threads = threads;
+    return spec;
+}
+
+}  // namespace
+
+int
+main()
+{
+    printBanner("Decode latency: trace-end to report-ready, batch vs "
+                "streaming pipeline");
+
+    // Latency is a one-shot quantity per session; repeat each
+    // configuration and keep the best (min) run, the usual convention
+    // for latency microbenchmarks.
+    const int kReps = 3;
+
+    TableWriter table({"Mode", "Threads", "Latency(ms)", "vs batch",
+                       "Identical"});
+    bool all_identical = true;
+
+    for (int threads : {1, 2, 8}) {
+        ExperimentResult batch;
+        double batch_ms = 0.0;
+        for (int rep = 0; rep < kReps; ++rep) {
+            ExperimentResult r = Testbed::run(makeSpec(false, threads));
+            if (rep == 0 || r.report_latency_s * 1e3 < batch_ms)
+                batch_ms = r.report_latency_s * 1e3;
+            batch = std::move(r);
+        }
+
+        ExperimentResult stream;
+        double stream_ms = 0.0;
+        for (int rep = 0; rep < kReps; ++rep) {
+            ExperimentResult r = Testbed::run(makeSpec(true, threads));
+            if (rep == 0 || r.report_latency_s * 1e3 < stream_ms)
+                stream_ms = r.report_latency_s * 1e3;
+            stream = std::move(r);
+        }
+
+        bool identical = sameReport(batch, stream) && stream.streamed &&
+                         !batch.streamed;
+        all_identical = all_identical && identical;
+        double ratio = stream_ms > 0 ? batch_ms / stream_ms : 0.0;
+
+        table.row({"batch", std::to_string(threads),
+                   TableWriter::num(batch_ms), "1.00", "ref"});
+        table.row({"streaming", std::to_string(threads),
+                   TableWriter::num(stream_ms),
+                   TableWriter::num(ratio) + "x",
+                   identical ? "yes" : "NO"});
+        std::printf("JSON {\"bench\":\"decode_latency\","
+                    "\"mode\":\"batch\",\"threads\":%d,"
+                    "\"trace_end_to_report_s\":%.6f,"
+                    "\"decoded_branches\":%llu,\"identical\":true}\n",
+                    threads, batch_ms / 1e3,
+                    (unsigned long long)batch.decoded_branches);
+        std::printf("JSON {\"bench\":\"decode_latency\","
+                    "\"mode\":\"streaming\",\"threads\":%d,"
+                    "\"trace_end_to_report_s\":%.6f,"
+                    "\"decoded_branches\":%llu,"
+                    "\"speedup_vs_batch\":%.3f,\"identical\":%s}\n",
+                    threads, stream_ms / 1e3,
+                    (unsigned long long)stream.decoded_branches, ratio,
+                    identical ? "true" : "false");
+    }
+
+    std::printf("\n");
+    table.print();
+    std::printf("\nstreaming decodes regions while tracing runs, so "
+                "only the stream tails remain at trace end\n");
+    if (!all_identical) {
+        std::fputs("streaming decode diverged from batch!\n", stderr);
+        return 1;
+    }
+    return 0;
+}

@@ -1,5 +1,6 @@
 #include "analysis/testbed.h"
 
+#include <chrono>
 #include <map>
 #include <mutex>
 #include <unordered_map>
@@ -12,6 +13,8 @@
 #include "baselines/stasam.h"
 #include "core/exist_backend.h"
 #include "decode/parallel_decoder.h"
+#include "decode/streaming_decoder.h"
+#include "hwtrace/tracer.h"
 #include "os/loadgen.h"
 #include "os/service.h"
 #include "util/logging.h"
@@ -201,6 +204,16 @@ Testbed::run(const ExperimentSpec &spec)
     if (target_spec != nullptr)
         session.target = kernel.findProcess(target_spec->app);
 
+    // Streaming decode needs region-fill events throughout the session,
+    // so split each core's ToPA chain. Ring buffers are incompatible
+    // (a wrap would overwrite bytes not yet handed to the decoder), so
+    // those sessions keep the batch path.
+    const bool want_streaming =
+        spec.streaming && spec.decode && !session.ring_buffers;
+    if (want_streaming)
+        session.stream_region_bytes =
+            (spec.stream_region_kb ? spec.stream_region_kb : 256) * 1024;
+
     GroundTruthRecorder truth;
     if ((spec.ground_truth || spec.decode) && session.target)
         truth.arm(kernel, session.target->pid(), spec.record_paths);
@@ -227,11 +240,52 @@ Testbed::run(const ExperimentSpec &spec)
     if (session.target != nullptr || spec.backend == "Oracle")
         backend->start(kernel, session);
 
+    // Overlap collection with reconstruction: install region-ready
+    // callbacks so every filled ToPA region is pushed to the streaming
+    // decoder's workers while the session (and the ground-truth
+    // recorder) is still running. Decode consumes real wall-clock time
+    // only — virtual simulation time is untouched, so results stay
+    // bit-identical to the batch path.
+    auto *exist_backend = dynamic_cast<ExistBackend *>(backend.get());
+    std::unique_ptr<StreamingDecoder> streamer;
+    if (want_streaming && exist_backend != nullptr &&
+        session.target != nullptr) {
+        DecodeOptions sopts;
+        sopts.record_path = spec.record_paths;
+        streamer = std::make_unique<StreamingDecoder>(
+            &session.target->binary(), sopts, spec.decode_threads);
+        for (const CoreAllocation &a : exist_backend->plan().allocations)
+            streamer->addCore(a.core);
+        for (const CoreAllocation &a :
+             exist_backend->plan().allocations) {
+            const CoreId core = a.core;
+            StreamingDecoder *sd = streamer.get();
+            kernel.tracer(core).setRegionReadyCallback(
+                [sd, core](const std::uint8_t *d, std::uint64_t n) {
+                    sd->publish(core, d, n);
+                });
+        }
+    }
+
     // --- The measured window == the tracing period ------------------------
     kernel.runFor(session.period);
     backend->stop(kernel);
     if ((spec.ground_truth || spec.decode) && session.target)
         truth.disarm(kernel);
+
+    // Trace end: the report-latency clock starts here (real time — the
+    // offline decode stage is the only part of the pipeline that is
+    // not simulated). Push the unpublished stream tails immediately so
+    // streaming workers chew on them while the main thread gathers the
+    // app statistics below.
+    const auto trace_end = std::chrono::steady_clock::now();
+    if (streamer != nullptr) {
+        for (const CoreAllocation &a :
+             exist_backend->plan().allocations) {
+            kernel.tracer(a.core).output().flushRegionReady();
+            kernel.tracer(a.core).setRegionReadyCallback(nullptr);
+        }
+    }
 
     // --- Collect ----------------------------------------------------------
     ExperimentResult result;
@@ -306,10 +360,17 @@ Testbed::run(const ExperimentSpec &spec)
 
         // Per-core buffers are independent; fan the decode across the
         // pool and aggregate in collection order, which keeps every
-        // result field bit-identical to the serial path.
-        ParallelDecoder rec(&binary, opts, spec.decode_threads);
-        std::vector<std::pair<CoreId, DecodedTrace>> decoded =
-            rec.decodeAll(collected);
+        // result field bit-identical to the serial path. With the
+        // streaming pipeline most bytes were reconstructed during the
+        // session already, so only the tails remain here.
+        std::vector<std::pair<CoreId, DecodedTrace>> decoded;
+        if (streamer != nullptr) {
+            decoded = streamer->finish();
+            result.streamed = true;
+        } else {
+            ParallelDecoder rec(&binary, opts, spec.decode_threads);
+            decoded = rec.decodeAll(collected);
+        }
 
         result.decoded_function_insns.assign(binary.numFunctions(), 0);
         result.decoded_function_entries.assign(binary.numFunctions(), 0);
@@ -341,6 +402,10 @@ Testbed::run(const ExperimentSpec &spec)
             path_total ? static_cast<double>(path_matched) /
                              static_cast<double>(path_total)
                        : 1.0;
+        result.report_latency_s =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - trace_end)
+                .count();
     }
     if (spec.keep_traces)
         result.raw_traces = std::move(collected);

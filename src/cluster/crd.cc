@@ -31,6 +31,8 @@ TraceRequest::parse(const std::string &manifest)
             req.ring_buffers = value == "true" || value == "1";
         } else if (key == "core_sample_ratio") {
             req.core_sample_ratio = std::stod(value);
+        } else if (key == "streaming") {
+            req.streaming = value == "true" || value == "1";
         } else {
             EXIST_FATAL("unknown manifest key '%s'", key.c_str());
         }
@@ -54,6 +56,8 @@ TraceRequest::toManifest() const
         out << " ring=true";
     if (core_sample_ratio > 0)
         out << " core_sample_ratio=" << core_sample_ratio;
+    if (streaming)
+        out << " streaming=true";
     return out.str();
 }
 

@@ -49,6 +49,10 @@ struct TraceRequest {
     bool ring_buffers = false;
     /** Personalized option: UMA core sampling ratio (0 = default). */
     double core_sample_ratio = 0.0;
+    /** Personalized option: streaming decode — overlap collection with
+     *  flow reconstruction so reports are ready at trace end. Ignored
+     *  (batch fallback) when combined with ring=true. */
+    bool streaming = false;
 
     RequestPhase phase = RequestPhase::kPending;
 

@@ -25,6 +25,7 @@ ExistBackend::start(Kernel &kernel, const SessionSpec &spec)
     ocfg.period = spec.period;
     ocfg.plan = plan_;
     ocfg.ring_buffers = spec.ring_buffers;
+    ocfg.stream_region_bytes = spec.stream_region_bytes;
     ocfg.eager_control = spec.exist_eager_control;
     ocfg.on_stop = [this, &kernel] {
         // Keep the sidecar before anything else disarms it.
@@ -80,7 +81,7 @@ ExistBackend::collect()
         // content oldest-first like the drain path does.
         const auto &store = buf.data();
         std::uint64_t wrap = buf.wrapOffset();
-        if (buf.wraps() == 0) {
+        if (!buf.hasWrapped()) {
             std::uint64_t n =
                 buf.bytesAccepted() > buf.capacity()
                     ? buf.capacity()

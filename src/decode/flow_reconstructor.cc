@@ -1,8 +1,5 @@
 #include "decode/flow_reconstructor.h"
 
-#include <deque>
-
-#include "decode/packet_parser.h"
 #include "util/logging.h"
 #include "workload/branch.h"
 
@@ -18,227 +15,284 @@ namespace exist {
  * from whichever the current block's terminator requires. PacketEn
  * boundaries flush pending TNT bits, so queues drain at PGD.
  */
+
+FlowStream::FlowStream(const ProgramBinary *prog, DecodeOptions opts)
+    : prog_(prog), opts_(opts)
+{
+    out_.function_insns.assign(prog_->numFunctions(), 0);
+    out_.function_entries.assign(prog_->numFunctions(), 0);
+}
+
+void
+FlowStream::openSegment(std::uint64_t offset)
+{
+    seg_ = DecodedSegment{};
+    seg_.start_time = time_;
+    seg_.first_offset = offset;
+    segment_open_ = true;
+}
+
+void
+FlowStream::closeSegment()
+{
+    if (segment_open_) {
+        seg_.end_time = time_;
+        out_.segments.push_back(seg_);
+        segment_open_ = false;
+    }
+    resume_hint_ = cur_;
+    saved_tail_ = static_tail_;
+    cur_ = kNoBlock;
+    at_syscall_ = false;
+    // Unconsumed queue entries at a boundary indicate loss.
+    out_.decode_errors += tnt_queue_.size() + tip_queue_.size();
+    tnt_queue_.clear();
+    tip_queue_.clear();
+}
+
+void
+FlowStream::visit(std::uint32_t block)
+{
+    const BasicBlock &b = prog_->block(block);
+    out_.insns_decoded += b.insns;
+    out_.function_insns[b.function_id] += b.insns;
+    if (prog_->function(b.function_id).entry_block == block)
+        ++out_.function_entries[b.function_id];
+    if (opts_.record_path)
+        out_.block_path.push_back(block);
+}
+
+void
+FlowStream::transition(std::uint32_t next, bool from_packet)
+{
+    cur_ = next;
+    visit(cur_);
+    ++out_.branches_decoded;
+    ++seg_.branches;
+    if (from_packet)
+        static_tail_.clear();
+    // Keep only a short window: this is the resume-disambiguation
+    // set, and an overly long one mistakes a different thread's
+    // PGE (same CR3, per-core multiplexing) for a static-overshoot
+    // resume, which desynchronizes decode far more than the
+    // duplicate visits a false fresh-open costs.
+    if (static_tail_.size() < 12)
+        static_tail_.push_back(next);
+}
+
+// Replay as far as the queued packets allow.
+void
+FlowStream::drain()
+{
+    while (cur_ != kNoBlock &&
+           out_.branches_decoded < opts_.max_branches) {
+        const BasicBlock &b = prog_->block(cur_);
+        switch (b.kind) {
+          case BranchKind::kDirectJump:
+          case BranchKind::kDirectCall:
+            transition(b.target0, /*from_packet=*/false);
+            continue;
+          case BranchKind::kConditional: {
+            if (tnt_queue_.empty())
+                return;
+            bool taken = tnt_queue_.front();
+            tnt_queue_.pop_front();
+            ++out_.tnt_bits_consumed;
+            transition(taken ? b.target0 : b.target1,
+                       /*from_packet=*/true);
+            continue;
+          }
+          case BranchKind::kIndirectJump:
+          case BranchKind::kIndirectCall:
+          case BranchKind::kReturn: {
+            if (tip_queue_.empty())
+                return;
+            std::uint64_t ip = tip_queue_.front();
+            tip_queue_.pop_front();
+            ++out_.tips_consumed;
+            std::uint32_t nb = prog_->blockAtAddress(ip);
+            if (nb == kNoBlock) {
+                ++out_.decode_errors;
+                closeSegment();
+                return;
+            }
+            transition(nb, /*from_packet=*/true);
+            continue;
+          }
+          case BranchKind::kSyscall:
+            // The tracer emits PGD here and PGE at kernel return;
+            // hold position until those arrive.
+            at_syscall_ = true;
+            return;
+        }
+    }
+}
+
+void
+FlowStream::handlePacket(const Packet &pkt)
+{
+    switch (pkt.op) {
+      case PacketOp::kExt:
+        if (pkt.value == kExtPsb)
+            after_resync_ = parser_.resyncCount() > 0;
+        break;
+      case PacketOp::kTsc:
+        time_ = pkt.value;
+        break;
+      case PacketOp::kCyc:
+        time_ += pkt.value;
+        break;
+      case PacketOp::kTipPge: {
+        std::uint32_t b = prog_->blockAtAddress(pkt.value);
+        if (b == kNoBlock) {
+            ++out_.decode_errors;
+            break;
+        }
+        if (at_syscall_ && segment_open_ && cur_ != kNoBlock) {
+            // Kernel return: continue the current segment at the
+            // syscall continuation.
+            at_syscall_ = false;
+            transition(b, /*from_packet=*/true);
+            drain();
+            break;
+        }
+        if (segment_open_)
+            closeSegment();
+        openSegment(parser_.offset());
+        // When execution resumes where — or statically behind
+        // where — the previous segment's decode stopped, the
+        // blocks from b to resume_hint were already visited by the
+        // static walk that outran the encoded branches; re-visiting
+        // them would duplicate path entries. Resume in place.
+        bool in_tail = b == resume_hint_;
+        for (std::uint32_t tb : saved_tail_)
+            in_tail = in_tail || tb == b;
+        if (in_tail && resume_hint_ != kNoBlock) {
+            cur_ = resume_hint_;
+            static_tail_ = saved_tail_;
+        } else {
+            cur_ = b;
+            static_tail_.clear();
+            static_tail_.push_back(b);
+            visit(cur_);
+        }
+        drain();
+        break;
+      }
+      case PacketOp::kTipPgd:
+        if (at_syscall_) {
+            // Expected filter exit at syscall entry: keep the
+            // segment open; the matching PGE resumes it.
+            break;
+        }
+        closeSegment();
+        break;
+      case PacketOp::kTnt6:
+        for (int i = 0; i < pkt.tnt_count; ++i)
+            tnt_queue_.push_back(((pkt.tnt_bits >> i) & 1) != 0);
+        drain();
+        break;
+      case PacketOp::kTip:
+        tip_queue_.push_back(pkt.value);
+        drain();
+        break;
+      case PacketOp::kFup:
+        // After a mid-stream resync (ring wrap), the FUP inside
+        // the PSB block is the decoder's re-entry point.
+        if (after_resync_ && !segment_open_ && pkt.value != 0) {
+            std::uint32_t b = prog_->blockAtAddress(pkt.value);
+            if (b != kNoBlock) {
+                openSegment(parser_.offset());
+                cur_ = b;
+                visit(cur_);
+                drain();
+            }
+            after_resync_ = false;
+        }
+        break;
+      case PacketOp::kOvf:
+        ++out_.decode_errors;
+        closeSegment();
+        break;
+      case PacketOp::kPtw:
+        out_.ptwrites.emplace_back(time_, pkt.value);
+        break;
+      case PacketOp::kPip:
+      case PacketOp::kMode:
+      case PacketOp::kPad:
+      case PacketOp::kTntPartial:
+        break;
+    }
+}
+
+void
+FlowStream::pump(const std::uint8_t *data, std::size_t size, bool final)
+{
+    parser_.rebind(data, size);
+    parser_.setFinal(final);
+    // Replicate the batch loop exactly, including its one-packet
+    // lookahead past the branch budget: after the budget check fails,
+    // exactly one more packet has been consumed and dropped, and
+    // next() is never called again.
+    if (budget_exhausted_)
+        return;
+    Packet pkt;
+    while (true) {
+        PacketParser::State st = parser_.state();
+        if (!parser_.next(pkt)) {
+            // Mid-stream this can mean "packet cut off by the chunk
+            // boundary": roll back so the retry sees the full packet
+            // once the next chunk lands.
+            if (!final)
+                parser_.setState(st);
+            break;
+        }
+        if (out_.branches_decoded >= opts_.max_branches) {
+            budget_exhausted_ = true;
+            break;
+        }
+        handlePacket(pkt);
+    }
+}
+
+void
+FlowStream::append(const std::uint8_t *data, std::size_t n)
+{
+    EXIST_ASSERT(!finished_, "append to a finished FlowStream");
+    buf_.insert(buf_.end(), data, data + n);
+    pump(buf_.data(), buf_.size(), /*final=*/false);
+}
+
+DecodedTrace
+FlowStream::finish()
+{
+    EXIST_ASSERT(!finished_, "FlowStream finished twice");
+    pump(buf_.data(), buf_.size(), /*final=*/true);
+    closeSegment();
+    out_.resyncs = parser_.resyncCount();
+    finished_ = true;
+    return std::move(out_);
+}
+
+DecodedTrace
+FlowStream::finishWith(const std::uint8_t *data, std::size_t n)
+{
+    EXIST_ASSERT(!finished_ && buf_.empty(),
+                 "finishWith on a used FlowStream");
+    pump(data, n, /*final=*/true);
+    closeSegment();
+    out_.resyncs = parser_.resyncCount();
+    finished_ = true;
+    return std::move(out_);
+}
+
 DecodedTrace
 FlowReconstructor::decode(const std::uint8_t *data, std::size_t size) const
 {
-    DecodedTrace out;
-    out.function_insns.assign(prog_->numFunctions(), 0);
-    out.function_entries.assign(prog_->numFunctions(), 0);
-
-    PacketParser parser(data, size);
-
-    std::uint32_t cur = kNoBlock;
-    Cycles time = 0;
-    bool segment_open = false;
-    bool after_resync = false;
-    bool at_syscall = false;  ///< waiting for the PGD/PGE pair
-    DecodedSegment seg;
-    std::deque<bool> tnt_queue;
-    std::deque<std::uint64_t> tip_queue;
-
-    auto openSegment = [&](std::uint64_t offset) {
-        seg = DecodedSegment{};
-        seg.start_time = time;
-        seg.first_offset = offset;
-        segment_open = true;
-    };
-
-    std::uint32_t resume_hint = kNoBlock;
-    // Blocks visited since the last packet-consuming transition: the
-    // decoder reaches them by statically walking ahead of the last
-    // encoded branch, so a PGD may land "behind" them and the matching
-    // PGE re-enter one of them without re-execution having happened in
-    // between. Resuming must not re-visit them.
-    std::vector<std::uint32_t> static_tail;
-    std::vector<std::uint32_t> saved_tail;
-
-    auto closeSegment = [&]() {
-        if (segment_open) {
-            seg.end_time = time;
-            out.segments.push_back(seg);
-            segment_open = false;
-        }
-        resume_hint = cur;
-        saved_tail = static_tail;
-        cur = kNoBlock;
-        at_syscall = false;
-        // Unconsumed queue entries at a boundary indicate loss.
-        out.decode_errors += tnt_queue.size() + tip_queue.size();
-        tnt_queue.clear();
-        tip_queue.clear();
-    };
-
-    auto visit = [&](std::uint32_t block) {
-        const BasicBlock &b = prog_->block(block);
-        out.insns_decoded += b.insns;
-        out.function_insns[b.function_id] += b.insns;
-        if (prog_->function(b.function_id).entry_block == block)
-            ++out.function_entries[b.function_id];
-        if (opts_.record_path)
-            out.block_path.push_back(block);
-    };
-
-    auto transition = [&](std::uint32_t next, bool from_packet) {
-        cur = next;
-        visit(cur);
-        ++out.branches_decoded;
-        ++seg.branches;
-        if (from_packet)
-            static_tail.clear();
-        // Keep only a short window: this is the resume-disambiguation
-        // set, and an overly long one mistakes a different thread's
-        // PGE (same CR3, per-core multiplexing) for a static-overshoot
-        // resume, which desynchronizes decode far more than the
-        // duplicate visits a false fresh-open costs.
-        if (static_tail.size() < 12)
-            static_tail.push_back(next);
-    };
-
-    // Replay as far as the queued packets allow.
-    auto drain = [&]() {
-        while (cur != kNoBlock &&
-               out.branches_decoded < opts_.max_branches) {
-            const BasicBlock &b = prog_->block(cur);
-            switch (b.kind) {
-              case BranchKind::kDirectJump:
-              case BranchKind::kDirectCall:
-                transition(b.target0, /*from_packet=*/false);
-                continue;
-              case BranchKind::kConditional: {
-                if (tnt_queue.empty())
-                    return;
-                bool taken = tnt_queue.front();
-                tnt_queue.pop_front();
-                ++out.tnt_bits_consumed;
-                transition(taken ? b.target0 : b.target1,
-                           /*from_packet=*/true);
-                continue;
-              }
-              case BranchKind::kIndirectJump:
-              case BranchKind::kIndirectCall:
-              case BranchKind::kReturn: {
-                if (tip_queue.empty())
-                    return;
-                std::uint64_t ip = tip_queue.front();
-                tip_queue.pop_front();
-                ++out.tips_consumed;
-                std::uint32_t nb = prog_->blockAtAddress(ip);
-                if (nb == kNoBlock) {
-                    ++out.decode_errors;
-                    closeSegment();
-                    return;
-                }
-                transition(nb, /*from_packet=*/true);
-                continue;
-              }
-              case BranchKind::kSyscall:
-                // The tracer emits PGD here and PGE at kernel return;
-                // hold position until those arrive.
-                at_syscall = true;
-                return;
-            }
-        }
-    };
-
-    Packet pkt;
-    while (parser.next(pkt) &&
-           out.branches_decoded < opts_.max_branches) {
-        switch (pkt.op) {
-          case PacketOp::kExt:
-            if (pkt.value == kExtPsb)
-                after_resync = parser.resyncCount() > 0;
-            break;
-          case PacketOp::kTsc:
-            time = pkt.value;
-            break;
-          case PacketOp::kCyc:
-            time += pkt.value;
-            break;
-          case PacketOp::kTipPge: {
-            std::uint32_t b = prog_->blockAtAddress(pkt.value);
-            if (b == kNoBlock) {
-                ++out.decode_errors;
-                break;
-            }
-            if (at_syscall && segment_open && cur != kNoBlock) {
-                // Kernel return: continue the current segment at the
-                // syscall continuation.
-                at_syscall = false;
-                transition(b, /*from_packet=*/true);
-                drain();
-                break;
-            }
-            if (segment_open)
-                closeSegment();
-            openSegment(parser.offset());
-            // When execution resumes where — or statically behind
-            // where — the previous segment's decode stopped, the
-            // blocks from b to resume_hint were already visited by the
-            // static walk that outran the encoded branches; re-visiting
-            // them would duplicate path entries. Resume in place.
-            bool in_tail = b == resume_hint;
-            for (std::uint32_t tb : saved_tail)
-                in_tail = in_tail || tb == b;
-            if (in_tail && resume_hint != kNoBlock) {
-                cur = resume_hint;
-                static_tail = saved_tail;
-            } else {
-                cur = b;
-                static_tail.clear();
-                static_tail.push_back(b);
-                visit(cur);
-            }
-            drain();
-            break;
-          }
-          case PacketOp::kTipPgd:
-            if (at_syscall) {
-                // Expected filter exit at syscall entry: keep the
-                // segment open; the matching PGE resumes it.
-                break;
-            }
-            closeSegment();
-            break;
-          case PacketOp::kTnt6:
-            for (int i = 0; i < pkt.tnt_count; ++i)
-                tnt_queue.push_back(((pkt.tnt_bits >> i) & 1) != 0);
-            drain();
-            break;
-          case PacketOp::kTip:
-            tip_queue.push_back(pkt.value);
-            drain();
-            break;
-          case PacketOp::kFup:
-            // After a mid-stream resync (ring wrap), the FUP inside
-            // the PSB block is the decoder's re-entry point.
-            if (after_resync && !segment_open && pkt.value != 0) {
-                std::uint32_t b = prog_->blockAtAddress(pkt.value);
-                if (b != kNoBlock) {
-                    openSegment(parser.offset());
-                    cur = b;
-                    visit(cur);
-                    drain();
-                }
-                after_resync = false;
-            }
-            break;
-          case PacketOp::kOvf:
-            ++out.decode_errors;
-            closeSegment();
-            break;
-          case PacketOp::kPtw:
-            out.ptwrites.emplace_back(time, pkt.value);
-            break;
-          case PacketOp::kPip:
-          case PacketOp::kMode:
-          case PacketOp::kPad:
-          case PacketOp::kTntPartial:
-            break;
-        }
-    }
-    closeSegment();
-    out.resyncs = parser.resyncCount();
-    return out;
+    // One-shot decode == streaming decode of a single final chunk; the
+    // shared FlowStream state machine makes batch and streaming output
+    // identical by construction.
+    return FlowStream(prog_, opts_).finishWith(data, size);
 }
 
 }  // namespace exist

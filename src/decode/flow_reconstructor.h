@@ -11,8 +11,10 @@
 #define EXIST_DECODE_FLOW_RECONSTRUCTOR_H
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
+#include "decode/packet_parser.h"
 #include "util/types.h"
 #include "workload/program.h"
 
@@ -62,6 +64,77 @@ struct DecodeOptions {
 };
 
 /**
+ * Resumable reconstruction of one core's byte stream: the decode
+ * state machine (packet parser position, pending TNT/TIP queues, open
+ * segment, resume hints) lives in the object, so bytes can be fed in
+ * arbitrary chunks as ToPA regions fill, long before the stream is
+ * complete. finish() seals the stream and returns the result.
+ *
+ * Determinism: the result is a pure function of the concatenated
+ * bytes — chunk boundaries never change it, because a parse attempt
+ * that runs out of bytes mid-packet is rolled back and retried when
+ * the next chunk arrives. The batch FlowReconstructor::decode path is
+ * implemented on top of this class (one append + finish), so batch
+ * and streaming decode are the same code by construction.
+ */
+class FlowStream
+{
+  public:
+    explicit FlowStream(const ProgramBinary *prog, DecodeOptions opts = {});
+
+    /** Feed the next chunk of the stream; decodes as far as the bytes
+     *  allow. Illegal after finish(). */
+    void append(const std::uint8_t *data, std::size_t n);
+
+    /** Seal the stream: decode the tail, close the open segment and
+     *  return the result. Call exactly once. */
+    DecodedTrace finish();
+
+    /** One-shot decode of a complete external buffer (no copy into the
+     *  stream buffer); equivalent to append(data, n) + finish(). */
+    DecodedTrace finishWith(const std::uint8_t *data, std::size_t n);
+
+    bool finished() const { return finished_; }
+
+    /** Bytes accumulated so far via append(). */
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+
+  private:
+    void pump(const std::uint8_t *data, std::size_t size, bool final);
+    void openSegment(std::uint64_t offset);
+    void closeSegment();
+    void visit(std::uint32_t block);
+    void transition(std::uint32_t next, bool from_packet);
+    void drain();
+    void handlePacket(const Packet &pkt);
+
+    const ProgramBinary *prog_;
+    DecodeOptions opts_;
+    std::vector<std::uint8_t> buf_;
+    PacketParser parser_{nullptr, 0};
+    DecodedTrace out_;
+
+    std::uint32_t cur_ = kNoBlock;
+    Cycles time_ = 0;
+    bool segment_open_ = false;
+    bool after_resync_ = false;
+    bool at_syscall_ = false;  ///< waiting for the PGD/PGE pair
+    DecodedSegment seg_;
+    std::deque<bool> tnt_queue_;
+    std::deque<std::uint64_t> tip_queue_;
+    std::uint32_t resume_hint_ = kNoBlock;
+    // Blocks visited since the last packet-consuming transition: the
+    // decoder reaches them by statically walking ahead of the last
+    // encoded branch, so a PGD may land "behind" them and the matching
+    // PGE re-enter one of them without re-execution having happened in
+    // between. Resuming must not re-visit them.
+    std::vector<std::uint32_t> static_tail_;
+    std::vector<std::uint32_t> saved_tail_;
+    bool budget_exhausted_ = false;
+    bool finished_ = false;
+};
+
+/**
  * Reconstructor bound to one binary (the paper's decoder fetches the
  * binary from a repository keyed by the traced application).
  */
@@ -82,6 +155,9 @@ class FlowReconstructor
     {
         return decode(bytes.data(), bytes.size());
     }
+
+    /** Open a resumable stream for incremental decode. */
+    FlowStream stream() const { return FlowStream(prog_, opts_); }
 
   private:
     const ProgramBinary *prog_;

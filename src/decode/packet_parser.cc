@@ -142,15 +142,26 @@ PacketParser::next(Packet &out)
             out.value = readLe(7);
             return true;
           case PacketOp::kCyc: {
+            std::size_t start = pos_;
             ++pos_;
             std::uint64_t v = 0;
             int shift = 0;
+            bool complete = false;
             while (pos_ < size_) {
                 std::uint8_t byte = data_[pos_++];
                 v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
                 shift += 7;
-                if (!(byte & 0x80))
+                if (!(byte & 0x80)) {
+                    complete = true;
                     break;
+                }
+            }
+            // A varint cut off by the buffer end: mid-stream the rest
+            // may still arrive, so leave it unconsumed; at the true
+            // stream end keep the historical truncated-value packet.
+            if (!complete && !final_) {
+                pos_ = start;
+                return false;
             }
             out.op = PacketOp::kCyc;
             out.value = v;

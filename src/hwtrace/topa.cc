@@ -31,6 +31,8 @@ TopaBuffer::reset()
     bytes_accepted_ = 0;
     bytes_dropped_ = 0;
     wraps_ = 0;
+    wraps_base_ = 0;
+    published_ = 0;
 }
 
 TopaWriteResult
@@ -76,15 +78,48 @@ TopaBuffer::write(const std::uint8_t *data, std::uint64_t n)
                 stopped_ = true;
                 res.stopped_now = true;
             }
+            publishReady();
         }
     }
     return res;
+}
+
+void
+TopaBuffer::setRegionReadyCallback(RegionReadyFn cb)
+{
+    EXIST_ASSERT(!cb || !ring_,
+                 "region-ready callback requires a non-ring ToPA chain");
+    region_cb_ = std::move(cb);
+}
+
+void
+TopaBuffer::publishReady()
+{
+    if (!region_cb_ || cursor_ <= published_)
+        return;
+    std::uint64_t n = cursor_ - published_;
+    const std::uint8_t *data = store_.data() + published_;
+    published_ = cursor_;
+    region_cb_(data, n);
+}
+
+std::uint64_t
+TopaBuffer::flushRegionReady()
+{
+    std::uint64_t before = published_;
+    publishReady();
+    return published_ - before;
 }
 
 std::uint64_t
 TopaBuffer::drainTo(std::vector<std::uint8_t> &out)
 {
     std::uint64_t n;
+    // Layout depends on wraps *since the previous drain* (wraps_, the
+    // epoch counter), not the cumulative count: a buffer that wrapped
+    // before an earlier drain but not since holds only cursor_ fresh
+    // bytes, and replaying the full capacity here would hand the
+    // consumer a stale copy of already-drained data.
     if (wraps_ == 0) {
         n = cursor_;
         out.insert(out.end(), store_.begin(),
@@ -100,12 +135,12 @@ TopaBuffer::drainTo(std::vector<std::uint8_t> &out)
     }
     std::uint64_t accepted = bytes_accepted_;
     std::uint64_t dropped = bytes_dropped_;
-    std::uint64_t wraps = wraps_;
+    std::uint64_t wraps_total = wraps_base_ + wraps_;
     reset();
     // Preserve cumulative counters across drains.
     bytes_accepted_ = accepted;
     bytes_dropped_ = dropped;
-    wraps_ = wraps;
+    wraps_base_ = wraps_total;
     return n;
 }
 

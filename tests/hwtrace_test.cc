@@ -114,6 +114,134 @@ TEST(Topa, DrainPreservesCumulativeCounters)
     EXPECT_EQ(buf.bytesAccepted(), 80u);
 }
 
+TEST(Topa, PartialDrainsAroundStopBoundary)
+{
+    TopaBuffer buf;
+    buf.configure({TopaEntry{8, /*stop=*/true, false}}, false);
+    std::uint8_t data[16];
+    for (int i = 0; i < 16; ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+
+    // Partial fill, drain before the STOP boundary is reached.
+    buf.write(data, 5);
+    std::vector<std::uint8_t> out;
+    EXPECT_EQ(buf.drainTo(out), 5u);
+    EXPECT_EQ(out[0], 0);
+    EXPECT_EQ(out[4], 4);
+    EXPECT_FALSE(buf.stopped());
+
+    // The drain re-arms the chain: the next write crosses the STOP
+    // boundary exactly at capacity.
+    TopaWriteResult r = buf.write(data + 5, 10);
+    EXPECT_EQ(r.accepted, 8u);
+    EXPECT_EQ(r.dropped, 2u);
+    EXPECT_TRUE(r.stopped_now);
+    EXPECT_TRUE(buf.stopped());
+    EXPECT_EQ(buf.drainTo(out), 8u);
+    ASSERT_EQ(out.size(), 13u);
+    // Concatenated drains reproduce the accepted prefix of the input.
+    for (int i = 0; i < 13; ++i)
+        EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+    // Cumulative counters survive both drains.
+    EXPECT_EQ(buf.bytesAccepted(), 13u);
+    EXPECT_EQ(buf.bytesDropped(), 2u);
+}
+
+TEST(Topa, DrainAfterWrapDoesNotReplayStaleData)
+{
+    TopaBuffer buf;
+    buf.configure({TopaEntry{8, false, false}}, /*ring=*/true);
+    std::uint8_t data[16];
+    for (int i = 0; i < 16; ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+
+    buf.write(data, 12);  // wraps once
+    std::vector<std::uint8_t> out;
+    EXPECT_EQ(buf.drainTo(out), 8u);
+    EXPECT_EQ(out[0], 4);
+
+    // Only 4 fresh bytes since the drain: the drain layout must use
+    // the wraps-since-last-drain epoch, not the cumulative count, or
+    // it would hand back 8 bytes including a stale replay of the
+    // previous epoch's data.
+    buf.write(data + 12, 4);
+    out.clear();
+    EXPECT_EQ(buf.drainTo(out), 4u);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], 12);
+    EXPECT_EQ(out[3], 15);
+    // The cumulative wrap statistic still counts the first epoch.
+    EXPECT_EQ(buf.wraps(), 1u);
+    EXPECT_FALSE(buf.hasWrapped());
+}
+
+TEST(Topa, RegionReadyPublishesFilledRegions)
+{
+    TopaBuffer buf;
+    buf.configure({TopaEntry{4, false, false},
+                   TopaEntry{4, false, false},
+                   TopaEntry{8, true, false}},
+                  false);
+    std::vector<std::uint8_t> published;
+    std::vector<std::uint64_t> spans;
+    buf.setRegionReadyCallback(
+        [&](const std::uint8_t *d, std::uint64_t n) {
+            published.insert(published.end(), d, d + n);
+            spans.push_back(n);
+        });
+
+    std::uint8_t data[24];
+    for (int i = 0; i < 24; ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+
+    // Mid-region write publishes nothing.
+    buf.write(data, 3);
+    EXPECT_TRUE(published.empty());
+    EXPECT_EQ(buf.publishedBytes(), 0u);
+
+    // Crossing the first boundary publishes the filled region; one
+    // write crossing several boundaries publishes each crossed span.
+    buf.write(data + 3, 6);  // cursor 9: regions 0 and 1 filled
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0], 4u);
+    EXPECT_EQ(spans[1], 4u);
+    EXPECT_EQ(buf.publishedBytes(), 8u);
+
+    // Filling the STOP region publishes it too; the overflow is
+    // dropped, not published.
+    TopaWriteResult r = buf.write(data + 9, 15);
+    EXPECT_EQ(r.accepted, 7u);
+    EXPECT_TRUE(buf.stopped());
+    EXPECT_EQ(buf.publishedBytes(), 16u);
+
+    // The concatenated published spans are exactly the stored bytes:
+    // publishing is non-destructive and in order.
+    ASSERT_EQ(published.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(published[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(buf.flushRegionReady(), 0u);  // nothing unpublished
+}
+
+TEST(Topa, FlushRegionReadyPublishesTail)
+{
+    TopaBuffer buf;
+    buf.configure({TopaEntry{8, true, false}}, false);
+    std::vector<std::uint8_t> published;
+    buf.setRegionReadyCallback(
+        [&](const std::uint8_t *d, std::uint64_t n) {
+            published.insert(published.end(), d, d + n);
+        });
+    std::uint8_t data[5] = {9, 8, 7, 6, 5};
+    buf.write(data, 5);
+    EXPECT_TRUE(published.empty());  // no boundary crossed yet
+    EXPECT_EQ(buf.flushRegionReady(), 5u);
+    ASSERT_EQ(published.size(), 5u);
+    EXPECT_EQ(published[0], 9);
+    EXPECT_EQ(published[4], 5);
+    EXPECT_EQ(buf.flushRegionReady(), 0u);  // idempotent
+    EXPECT_EQ(buf.publishedBytes(), 5u);
+}
+
 TEST(PacketWriter, TntPacksSixPerByte)
 {
     TopaBuffer buf;

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Run the decode benchmarks and aggregate their JSON lines.
+
+Each decode bench binary prints one machine-readable line per
+configuration, prefixed "JSON ". This driver runs decode_throughput and
+decode_latency, collects those lines, and writes one aggregate document
+(default BENCH_decode.json at the repo root) so CI can diff the decode
+runtime's trajectory run-over-run.
+
+Usage:
+    tools/bench_trends.py [--build-dir build] [--out BENCH_decode.json]
+                          [--scale 0.25]
+
+Only the standard library is used. Exit status is non-zero if a bench
+binary is missing, fails, or emits no JSON lines.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+BENCHES = ["decode_throughput", "decode_latency"]
+
+
+def run_bench(path, scale):
+    env = dict(os.environ)
+    if scale is not None:
+        env["EXIST_BENCH_SCALE"] = str(scale)
+    proc = subprocess.run(
+        [path], env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    lines = []
+    for line in proc.stdout.splitlines():
+        if line.startswith("JSON "):
+            lines.append(json.loads(line[len("JSON "):]))
+    return proc.returncode, lines, proc.stdout
+
+
+def summarize(records):
+    """Pull the headline numbers out of the raw per-config records."""
+    summary = {}
+    tp = [r for r in records
+          if r.get("bench") == "decode_throughput"
+          and r.get("mode") == "parallel"]
+    if tp:
+        best = max(tp, key=lambda r: r.get("speedup", 0.0))
+        summary["decode_throughput"] = {
+            "best_speedup": best.get("speedup"),
+            "best_threads": best.get("threads"),
+            "segments_per_sec": best.get("segments_per_sec"),
+            "all_identical": all(r.get("identical") for r in tp),
+        }
+    lat = [r for r in records
+           if r.get("bench") == "decode_latency"
+           and r.get("mode") == "streaming"]
+    if lat:
+        best = max(lat, key=lambda r: r.get("speedup_vs_batch", 0.0))
+        summary["decode_latency"] = {
+            "best_speedup_vs_batch": best.get("speedup_vs_batch"),
+            "best_threads": best.get("threads"),
+            "trace_end_to_report_s": best.get("trace_end_to_report_s"),
+            "all_identical": all(r.get("identical") for r in lat),
+        }
+    return summary
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build directory (default: build)")
+    ap.add_argument("--out", default="BENCH_decode.json",
+                    help="aggregate output path")
+    ap.add_argument("--scale", default=None,
+                    help="EXIST_BENCH_SCALE for quick runs, e.g. 0.25")
+    args = ap.parse_args()
+
+    records = []
+    for name in BENCHES:
+        path = os.path.join(args.build_dir, "bench", name)
+        if not os.path.exists(path):
+            print(f"bench binary not found: {path} "
+                  f"(build the project first)", file=sys.stderr)
+            return 1
+        print(f"running {name} ...", flush=True)
+        rc, lines, output = run_bench(path, args.scale)
+        if rc != 0:
+            sys.stderr.write(output)
+            print(f"{name} failed with exit {rc}", file=sys.stderr)
+            return rc
+        if not lines:
+            print(f"{name} emitted no JSON lines", file=sys.stderr)
+            return 1
+        records.extend(lines)
+        print(f"  {len(lines)} configurations")
+
+    doc = {
+        "benches": BENCHES,
+        "scale": args.scale,
+        "records": records,
+        "summary": summarize(records),
+    }
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote {args.out}: {len(records)} records")
+    for bench, s in doc["summary"].items():
+        print(f"  {bench}: {s}")
+    if not all(s.get("all_identical", True)
+               for s in doc["summary"].values()):
+        print("a configuration diverged from its reference!",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
