@@ -1,35 +1,45 @@
 #include "cluster/master.h"
 
-#include <algorithm>
-
-#include "analysis/accuracy.h"
 #include "analysis/testbed.h"
+#include "cluster/shard/plan.h"
 #include "runtime/thread_pool.h"
 #include "util/logging.h"
-#include "workload/app_profile.h"
 
 namespace exist {
 
-/** One worker-node tracing session to run (independent of all
- *  others once planned). */
-struct Master::SessionPlan {
-    NodeId node = kInvalidId;
-    ExperimentSpec spec;
-    ExperimentResult result;
+namespace {
+
+/** Data-path sink over the plain (unstriped) stores. */
+class SerialSink : public StoreSink
+{
+  public:
+    SerialSink(ObjectStore &oss, OdpsTable &odps)
+        : oss_(oss), odps_(odps)
+    {
+    }
+
+    void
+    putObject(const std::string &key,
+              std::vector<std::uint8_t> bytes) override
+    {
+        oss_.put(key, std::move(bytes));
+    }
+
+    void
+    insertRow(TraceRow row) override
+    {
+        odps_.insert(std::move(row));
+    }
+
+  private:
+    ObjectStore &oss_;
+    OdpsTable &odps_;
 };
 
-/** Everything reconcile decided for one request during planning, plus
- *  the per-worker session slots filled in by the parallel phase. */
-struct Master::RequestPlan {
-    TraceRequest *req = nullptr;
-    Cycles period = 0;
-    std::vector<int> workers;
-    std::vector<SessionPlan> sessions;
-};
+}  // namespace
 
 Master::Master(Cluster *cluster, RcoConfig rco_cfg, int threads)
-    : cluster_(cluster), rco_(rco_cfg), threads_(threads),
-      rng_(cluster->config().seed ^ 0x6d617374ULL)
+    : cluster_(cluster), rco_(rco_cfg), threads_(threads)
 {
 }
 
@@ -66,14 +76,14 @@ Master::report(std::uint64_t id) const
 void
 Master::reconcile()
 {
-    // Phase 1 — plan serially in request-id order: every RCO decision
-    // and RNG draw happens in the same order as the historical
-    // one-request-at-a-time loop, so the chosen periods and worker
-    // sets are unchanged.
+    // Phase 1 — plan serially in request-id order. Each request plans
+    // on its private RNG stream (cluster/shard/plan.h), so the chosen
+    // periods and worker sets depend only on (cluster state, id) —
+    // the same plans the sharded control plane computes.
     std::vector<RequestPlan> plans;
     for (auto &[id, req] : requests_)
         if (req.phase == RequestPhase::kPending)
-            plans.push_back(planOne(req));
+            plans.push_back(planRequest(cluster_, rco_, req, threads_));
 
     // Phase 2 — run every (request, worker-node) session concurrently:
     // sessions are independent simulations, so they fan out across the
@@ -99,82 +109,10 @@ Master::reconcile()
     sessions_run_ += jobs.size();
 
     // Phase 3 — publish serially in request-id order: OSS uploads,
-    // ODPS rows and report assembly see session results in the same
-    // order as the serial implementation.
+    // ODPS rows, coverage accounting and report assembly see session
+    // results in the same order as the historical implementation.
     for (RequestPlan &plan : plans)
         publishOne(plan);
-}
-
-Master::RequestPlan
-Master::planOne(TraceRequest &req)
-{
-    RequestPlan plan;
-    plan.req = &req;
-    req.phase = RequestPhase::kRunning;
-
-    if (cluster_->replicasOf(req.app) == 0) {
-        warn("trace request %llu: app %s not deployed",
-             (unsigned long long)req.id, req.app.c_str());
-        req.phase = RequestPhase::kFailed;
-        return plan;
-    }
-
-    // Temporal decider + spatial sampler (§3.4).
-    AppDeployment meta = cluster_->metadataFor(req.app, req.anomaly);
-    plan.period = req.period_override ? req.period_override
-                                      : rco_.decidePeriod(meta);
-    plan.workers = rco_.selectWorkers(meta, rng_);
-    auto pods = cluster_->podsOf(req.app);
-
-    for (int widx : plan.workers) {
-        const PodInstance *pod = pods[static_cast<std::size_t>(widx)];
-
-        // Node-level session: simulate this worker node with every pod
-        // placed on it, tracing the requested app with EXIST.
-        SessionPlan session;
-        session.node = pod->node;
-        ExperimentSpec &spec = session.spec;
-        spec.node.num_cores = cluster_->config().cores_per_node;
-        spec.backend = "EXIST";
-        spec.session.period = plan.period;
-        spec.session.budget_mb = req.budget_mb;
-        spec.session.ring_buffers = req.ring_buffers;
-        spec.session.core_sample_ratio = req.core_sample_ratio;
-        spec.decode = true;
-        spec.ground_truth = true;
-        spec.keep_traces = true;
-        spec.warmup = secondsToCycles(0.05);
-        spec.seed = cluster_->config().seed * 1000003ULL +
-                    static_cast<std::uint64_t>(pod->node) * 131ULL +
-                    req.id;
-        // Sessions already fan out across the pool; per-core decode
-        // inside each session shares it rather than nesting new pools.
-        // Streaming sessions are the exception: their consumers park on
-        // workers for the whole session, so each gets a small dedicated
-        // pool instead (sharing would let a backpressured producer
-        // deadlock against parked consumers).
-        spec.streaming = req.streaming;
-        if (req.streaming)
-            spec.decode_threads = threads_ == 1 ? 1 : 2;
-        else
-            spec.decode_threads = threads_ == 1 ? 1 : 0;
-
-        std::vector<std::string> seen;
-        for (const PodInstance *other : cluster_->podsOn(pod->node)) {
-            if (std::find(seen.begin(), seen.end(), other->app) !=
-                seen.end())
-                continue;
-            seen.push_back(other->app);
-            WorkloadSpec w;
-            w.app = other->app;
-            w.target = other->app == req.app;
-            if (AppCatalog::find(other->app).is_service)
-                w.closed_clients = 4;
-            spec.workloads.push_back(std::move(w));
-        }
-        plan.sessions.push_back(std::move(session));
-    }
-    return plan;
 }
 
 void
@@ -184,62 +122,10 @@ Master::publishOne(RequestPlan &plan)
     if (req.phase != RequestPhase::kRunning)
         return;  // failed during planning
 
-    TraceReport report;
-    report.request_id = req.id;
-    report.app = req.app;
-    report.period = plan.period;
-
-    std::vector<std::vector<std::uint64_t>> decoded_profiles;
-    std::vector<std::vector<std::uint64_t>> truth_profiles;
-    double cpi_sum = 0.0;
-
-    for (SessionPlan &session : plan.sessions) {
-        ExperimentResult &result = session.result;
-
-        // Data path: raw trace objects go to OSS, decoded rows to ODPS.
-        std::uint64_t bytes = 0;
-        for (std::size_t i = 0; i < result.raw_traces.size(); ++i) {
-            const CollectedTrace &ct = result.raw_traces[i];
-            bytes += ct.bytes.size();
-            std::string key = "traces/" + req.app + "/req" +
-                              std::to_string(req.id) + "/node" +
-                              std::to_string(session.node) + "/core" +
-                              std::to_string(ct.core);
-            oss_.put(key, ct.bytes);
-        }
-        report.total_trace_bytes += bytes;
-
-        TraceRow row;
-        row.app = req.app;
-        row.node = session.node;
-        row.request_id = req.id;
-        row.period = plan.period;
-        row.decoded_branches = result.decoded_branches;
-        row.accuracy = result.accuracy_wall;
-        row.function_insns = result.decoded_function_insns;
-        row.function_entries = result.decoded_function_entries;
-        odps_.insert(std::move(row));
-
-        report.traced_nodes.push_back(session.node);
-        report.per_worker_accuracy.push_back(result.accuracy_wall);
-        decoded_profiles.push_back(result.decoded_function_insns);
-        truth_profiles.push_back(result.truth_function_insns);
-        cpi_sum += result.at(req.app).cpi;
-    }
-
-    // Trace augmentation: merge repetitions, score against the merged
-    // reference (§3.4, Fig. 20).
-    report.merged_function_insns = mergeFunctionProfiles(decoded_profiles);
-    report.merged_truth_function_insns =
-        mergeFunctionProfiles(truth_profiles);
-    report.merged_accuracy =
-        wallWeightAccuracy(report.merged_function_insns,
-                           report.merged_truth_function_insns);
-    report.mean_target_cpi =
-        plan.workers.empty()
-            ? 0.0
-            : cpi_sum / static_cast<double>(plan.workers.size());
-
+    SerialSink sink(oss_, odps_);
+    TraceReport report = publishRequest(plan, sink);
+    ledger_.recordRequest(req.app, plan.sessions.size(), plan.period,
+                          report.total_trace_bytes);
     reports_.emplace(req.id, std::move(report));
     req.phase = RequestPhase::kCompleted;
 }
@@ -250,9 +136,12 @@ Master::managementFootprint() const
     // Calibrated to the paper's Fig. 17 measurement: the RCO management
     // pod consumes < 3e-3 cores and ~40 MB on a ten-node cluster, with
     // sub-linear growth toward per-mille overhead at thousand scale.
+    // Pool threads are parked outside reconcile, so they cost stack
+    // memory and housekeeping, not cores.
+    int threads = threads_ > 0 ? threads_ : ThreadPool::defaultThreads();
     Footprint f;
-    f.cores = 0.0008 + 0.0002 * cluster_->numNodes();
-    f.memory_mb = 36.0 + 0.4 * cluster_->numNodes();
+    f.cores = 0.0008 + 0.0002 * cluster_->numNodes() + 5e-6 * threads;
+    f.memory_mb = 36.0 + 0.4 * cluster_->numNodes() + 8.0 * threads;
     return f;
 }
 

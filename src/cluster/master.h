@@ -8,6 +8,11 @@
  * (4) decodes them against the binary repository and writes structured
  *     rows to the table store, and
  * (5) merges per-worker traces into one augmented report.
+ *
+ * Planning and publishing are shared with the sharded control plane
+ * (cluster/shard/plan.h): every request plans on its private RNG
+ * stream splitmix64(cluster seed, request id), so ShardedMaster
+ * produces bit-identical reports at any shard count.
  */
 #ifndef EXIST_CLUSTER_MASTER_H
 #define EXIST_CLUSTER_MASTER_H
@@ -21,9 +26,10 @@
 #include "cluster/crd.h"
 #include "cluster/storage.h"
 #include "core/rco.h"
-#include "util/rng.h"
 
 namespace exist {
+
+struct RequestPlan;
 
 /** The merged outcome of one reconciled trace request. */
 struct TraceReport {
@@ -41,6 +47,8 @@ struct TraceReport {
     std::uint64_t total_trace_bytes = 0;
     /** Mean slowdown observed on the traced pods (sanity telemetry). */
     double mean_target_cpi = 0.0;
+
+    bool operator==(const TraceReport &) const = default;
 };
 
 class Master
@@ -51,9 +59,9 @@ class Master
      * their per-core decode fan-out) run on a pool of this width.
      * 0 = the process-wide shared pool, 1 = fully serial (the
      * historical behaviour). Reports are bit-identical at any setting:
-     * planning (RCO decisions, RNG draws) and publishing (OSS/ODPS
-     * writes, report assembly) stay serial in request order; only the
-     * independent node sessions run concurrently.
+     * planning (RCO decisions, per-request RNG draws) and publishing
+     * (OSS/ODPS writes, report assembly) stay serial in request order;
+     * only the independent node sessions run concurrently.
      */
     explicit Master(Cluster *cluster, RcoConfig rco_cfg = {},
                     int threads = 0);
@@ -72,8 +80,11 @@ class Master
     ObjectStore &oss() { return oss_; }
     OdpsTable &odps() { return odps_; }
     const RepetitionAwareCoverageOptimizer &rco() const { return rco_; }
+    /** Coverage accounting, updated in request-id order. */
+    const CoverageLedger &coverage() const { return ledger_; }
 
-    /** Management-plane resource footprint (paper Fig. 17). */
+    /** Management-plane resource footprint (paper Fig. 17), including
+     *  the reconcile pool's threads. */
     struct Footprint {
         double cores;
         double memory_mb;
@@ -83,24 +94,18 @@ class Master
     std::uint64_t sessionsRun() const { return sessions_run_; }
 
   private:
-    struct SessionPlan;
-    struct RequestPlan;
-
-    /** Phase 1: consume RCO/RNG state and emit the session specs for
-     *  one pending request (serial, deterministic). */
-    RequestPlan planOne(TraceRequest &req);
-    /** Phase 3: upload traces, write rows, assemble the report from
-     *  completed session results (serial, deterministic). */
+    /** Phase 3: publish one planned+run request and register its
+     *  report (serial, request order). */
     void publishOne(RequestPlan &plan);
 
     Cluster *cluster_;
     RepetitionAwareCoverageOptimizer rco_;
     int threads_;
-    Rng rng_;
     std::map<std::uint64_t, TraceRequest> requests_;
     std::map<std::uint64_t, TraceReport> reports_;
     ObjectStore oss_;
     OdpsTable odps_;
+    CoverageLedger ledger_;
     std::uint64_t next_id_ = 1;
     std::uint64_t sessions_run_ = 0;
 };

@@ -1,0 +1,231 @@
+#include "cluster/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace exist::metrics {
+
+namespace {
+
+/** Bucket for v: index of its highest set bit (0 -> bucket 0). */
+int
+bucketOf(std::uint64_t v)
+{
+    return v == 0 ? 0 : 64 - std::countl_zero(v);
+}
+
+/** Representative value of bucket i: geometric midpoint of its
+ *  [2^(i-1), 2^i) range. */
+std::uint64_t
+bucketValue(int i)
+{
+    if (i <= 0)
+        return 0;
+    double lo = std::ldexp(1.0, i - 1);
+    return static_cast<std::uint64_t>(lo * 1.41421356237309515);
+}
+
+void
+atomicMin(std::atomic<std::uint64_t> &slot, std::uint64_t v)
+{
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !slot.compare_exchange_weak(cur, v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMax(std::atomic<std::uint64_t> &slot, std::uint64_t v)
+{
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+}
+
+}  // namespace
+
+void
+Histogram::record(std::uint64_t v)
+{
+    buckets_[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    atomicMin(min_, v);
+    atomicMax(max_, v);
+}
+
+std::uint64_t
+Histogram::min() const
+{
+    std::uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == ~0ULL ? 0 : m;
+}
+
+double
+Histogram::mean() const
+{
+    std::uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    std::uint64_t n = count();
+    if (n == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-th value (1-based, ceil: p0 is the first sample).
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(n)));
+    rank = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i].load(std::memory_order_relaxed);
+        if (seen >= rank) {
+            // Clamp the estimate into the observed range so tiny
+            // histograms do not report beyond their own max.
+            return std::clamp(bucketValue(i), min(), max());
+        }
+    }
+    return max();
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    Stripe &s = stripeFor(name);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto &slot = s.counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    Stripe &s = stripeFor(name);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto &slot = s.gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    Stripe &s = stripeFor(name);
+    std::lock_guard<std::mutex> lk(s.mu);
+    auto &slot = s.histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+std::vector<std::string>
+Registry::names() const
+{
+    std::vector<std::string> out;
+    for (const Stripe &s : stripes_) {
+        std::lock_guard<std::mutex> lk(s.mu);
+        for (const auto &[name, c] : s.counters)
+            out.push_back(name);
+        for (const auto &[name, g] : s.gauges)
+            out.push_back(name);
+        for (const auto &[name, h] : s.histograms)
+            out.push_back(name);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string
+Registry::toJson() const
+{
+    // Collect pointers under the stripe locks, then render from the
+    // (stable, never-deleted) metric objects with names sorted.
+    std::map<std::string, const Counter *> counters;
+    std::map<std::string, const Gauge *> gauges;
+    std::map<std::string, const Histogram *> histograms;
+    for (const Stripe &s : stripes_) {
+        std::lock_guard<std::mutex> lk(s.mu);
+        for (const auto &[name, c] : s.counters)
+            counters[name] = c.get();
+        for (const auto &[name, g] : s.gauges)
+            gauges[name] = g.get();
+        for (const auto &[name, h] : s.histograms)
+            histograms[name] = h.get();
+    }
+
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, c] : counters) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendJsonString(out, name);
+        out += ':';
+        out += std::to_string(c->value());
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, g] : gauges) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendJsonString(out, name);
+        out += ':';
+        out += std::to_string(g->value());
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendJsonString(out, name);
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      ":{\"count\":%llu,\"sum\":%llu,\"min\":%llu,"
+                      "\"max\":%llu,\"mean\":%.1f,\"p50\":%llu,"
+                      "\"p99\":%llu}",
+                      (unsigned long long)h->count(),
+                      (unsigned long long)h->sum(),
+                      (unsigned long long)h->min(),
+                      (unsigned long long)h->max(), h->mean(),
+                      (unsigned long long)h->percentile(0.50),
+                      (unsigned long long)h->percentile(0.99));
+        out += buf;
+    }
+    out += "}}";
+    return out;
+}
+
+Registry &
+Registry::global()
+{
+    static Registry registry;
+    return registry;
+}
+
+}  // namespace exist::metrics

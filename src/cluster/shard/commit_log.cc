@@ -1,0 +1,63 @@
+#include "cluster/shard/commit_log.h"
+
+#include "util/logging.h"
+
+namespace exist {
+
+void
+CommitLog::beginEpoch(std::uint64_t entries)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    EXIST_ASSERT(staged_.empty() && next_seq_ == epoch_entries_,
+                 "beginEpoch with %zu staged / %llu of %llu committed",
+                 staged_.size(), (unsigned long long)next_seq_,
+                 (unsigned long long)epoch_entries_);
+    next_seq_ = 0;
+    epoch_entries_ = entries;
+}
+
+std::size_t
+CommitLog::commit(std::uint64_t seq, std::function<void()> fn)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    EXIST_ASSERT(seq >= next_seq_ && seq < epoch_entries_,
+                 "commit seq %llu outside window [%llu, %llu)",
+                 (unsigned long long)seq,
+                 (unsigned long long)next_seq_,
+                 (unsigned long long)epoch_entries_);
+    if (seq != next_seq_) {
+        bool inserted = staged_.emplace(seq, std::move(fn)).second;
+        EXIST_ASSERT(inserted, "duplicate commit for seq %llu",
+                     (unsigned long long)seq);
+        return 0;
+    }
+    // In order: apply, then drain every consecutively-staged successor.
+    std::size_t applied = 0;
+    fn();
+    ++next_seq_;
+    ++applied;
+    for (auto it = staged_.begin();
+         it != staged_.end() && it->first == next_seq_;
+         it = staged_.erase(it)) {
+        it->second();
+        ++next_seq_;
+        ++applied;
+    }
+    return applied;
+}
+
+std::uint64_t
+CommitLog::committed() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return next_seq_;
+}
+
+bool
+CommitLog::epochComplete() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return next_seq_ == epoch_entries_ && staged_.empty();
+}
+
+}  // namespace exist

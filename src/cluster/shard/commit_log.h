@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Sequenced commit log for cross-shard control-plane invariants. Two
+ * jobs:
+ *
+ *  1. Global id allocation: TraceRequest ids come from one atomic
+ *     stream regardless of which shard the request lands on, so the
+ *     API-server id order *is* the submit order — the property every
+ *     determinism argument downstream leans on.
+ *
+ *  2. Ordered commits: per-epoch, each reconciled request is assigned
+ *     a commit sequence number (its rank in id order) and its
+ *     *commit action* — the small sequenced tail of publishing:
+ *     report registration, RCO coverage accounting, the phase flip —
+ *     is applied strictly in sequence order. The log is a reorder
+ *     buffer, not a barrier: a shard that finishes out of order stages
+ *     its action and moves on; whoever completes the missing sequence
+ *     applies the whole ready run. Shards therefore never *block* on
+ *     the log, which also makes the design safe on a pool narrower
+ *     than the shard count (a blocked shard loop could otherwise wait
+ *     for a shard that has not been scheduled yet).
+ *
+ * The bulky data-path writes (OSS objects, ODPS rows) deliberately do
+ * NOT go through the log — they are order-independent and hit the
+ * striped stores concurrently.
+ */
+#ifndef EXIST_CLUSTER_SHARD_COMMIT_LOG_H
+#define EXIST_CLUSTER_SHARD_COMMIT_LOG_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+
+namespace exist {
+
+class CommitLog
+{
+  public:
+    /** Next global request id (starts at 1, like the serial Master). */
+    std::uint64_t allocateId()
+    {
+        return next_id_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::uint64_t lastAllocatedId() const
+    {
+        return next_id_.load(std::memory_order_relaxed) - 1;
+    }
+
+    /** Start an epoch expecting commits with sequences [0, entries). */
+    void beginEpoch(std::uint64_t entries);
+
+    /**
+     * Commit sequence `seq` with action `fn`. Applies fn immediately
+     * when seq is next in order (then drains any staged successors),
+     * otherwise stages it. Actions run under the log mutex: keep them
+     * small (map insert, ledger update, phase flip). Returns the
+     * number of actions applied by this call (0 = staged).
+     */
+    std::size_t commit(std::uint64_t seq, std::function<void()> fn);
+
+    /** Commits applied in the current epoch. */
+    std::uint64_t committed() const;
+    /** True when every commit of the current epoch has been applied. */
+    bool epochComplete() const;
+
+  private:
+    std::atomic<std::uint64_t> next_id_{1};
+
+    mutable std::mutex mu_;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t epoch_entries_ = 0;
+    std::map<std::uint64_t, std::function<void()>> staged_;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_CLUSTER_SHARD_COMMIT_LOG_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared reconcile phases of the control plane: planning one
+ * TraceRequest into worker-node sessions and publishing the completed
+ * sessions into storage + a merged report. Both the serial Master and
+ * the ShardedMaster call these, so "sharded reports are bit-identical
+ * to serial" holds by construction, not by parallel maintenance of two
+ * copies of the logic.
+ *
+ * Determinism contract: planning draws randomness from a *per-request*
+ * RNG stream derived by splitmix64 over (cluster seed, request id), so
+ * the plan for request N is a pure function of the cluster state and N
+ * — independent of which shard plans it, in which order, on which
+ * thread.
+ */
+#ifndef EXIST_CLUSTER_SHARD_PLAN_H
+#define EXIST_CLUSTER_SHARD_PLAN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/testbed.h"
+#include "cluster/cluster.h"
+#include "cluster/crd.h"
+#include "cluster/storage.h"
+#include "core/rco.h"
+
+namespace exist {
+
+struct TraceReport;
+
+/** One worker-node tracing session to run (independent of all others
+ *  once planned). */
+struct SessionPlan {
+    NodeId node = kInvalidId;
+    ExperimentSpec spec;
+    ExperimentResult result;
+};
+
+/** Everything planning decided for one request, plus the per-worker
+ *  session slots filled in by the run phase. */
+struct RequestPlan {
+    TraceRequest *req = nullptr;
+    Cycles period = 0;
+    std::vector<int> workers;
+    std::vector<SessionPlan> sessions;
+};
+
+/** Seed of request `request_id`'s private planning RNG stream. */
+std::uint64_t requestPlanSeed(std::uint64_t cluster_seed,
+                              std::uint64_t request_id);
+
+/**
+ * Phase 1 — plan: consume cluster metadata and the request's private
+ * RNG stream, emit the session specs. Marks the request kRunning, or
+ * kFailed when the app is not deployed (the plan then has no
+ * sessions). `threads` is the controller's parallelism knob and only
+ * selects the per-session decode pool policy (1 = fully serial
+ * sessions; anything else shares the process pool, streaming sessions
+ * get small dedicated pools) — it never changes the plan itself.
+ */
+RequestPlan planRequest(Cluster *cluster,
+                        const RepetitionAwareCoverageOptimizer &rco,
+                        TraceRequest &req, int threads);
+
+/**
+ * Data-path sink for phase 3: raw trace objects and decoded rows. The
+ * serial Master backs this with plain ObjectStore/OdpsTable; the
+ * sharded path with their striped variants (+ metrics).
+ */
+class StoreSink
+{
+  public:
+    virtual ~StoreSink() = default;
+    virtual void putObject(const std::string &key,
+                           std::vector<std::uint8_t> bytes) = 0;
+    virtual void insertRow(TraceRow row) = 0;
+};
+
+/**
+ * Phase 3 — publish: upload traces, write rows, assemble the merged
+ * report from completed session results. Pure function of the plan
+ * contents and the request fields; iterates sessions in plan order, so
+ * the report bytes do not depend on who calls it. Does NOT flip the
+ * request phase or register the report — the caller sequences those
+ * (the sharded path through its commit log).
+ */
+TraceReport publishRequest(RequestPlan &plan, StoreSink &sink);
+
+}  // namespace exist
+
+#endif  // EXIST_CLUSTER_SHARD_PLAN_H

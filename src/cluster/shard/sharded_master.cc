@@ -1,0 +1,263 @@
+#include "cluster/shard/sharded_master.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "analysis/testbed.h"
+#include "runtime/thread_pool.h"
+#include "util/logging.h"
+
+namespace exist {
+
+namespace {
+
+/** Data-path sink over the striped stores, counting as it writes. */
+class StripedSink : public StoreSink
+{
+  public:
+    StripedSink(StripedObjectStore &oss, StripedOdpsTable &odps,
+                metrics::Registry &metrics)
+        : oss_(oss), odps_(odps), puts_(metrics.counter("oss.puts")),
+          bytes_(metrics.counter("oss.bytes")),
+          inserts_(metrics.counter("odps.inserts"))
+    {
+    }
+
+    void
+    putObject(const std::string &key,
+              std::vector<std::uint8_t> bytes) override
+    {
+        bytes_.add(bytes.size());
+        oss_.put(key, std::move(bytes));
+        puts_.add();
+    }
+
+    void
+    insertRow(TraceRow row) override
+    {
+        odps_.insert(std::move(row));
+        inserts_.add();
+    }
+
+  private:
+    StripedObjectStore &oss_;
+    StripedOdpsTable &odps_;
+    metrics::Counter &puts_;
+    metrics::Counter &bytes_;
+    metrics::Counter &inserts_;
+};
+
+}  // namespace
+
+ShardedMaster::ShardedMaster(Cluster *cluster, RcoConfig rco_cfg,
+                             int shards, int threads,
+                             metrics::Registry *metrics)
+    : cluster_(cluster), rco_(rco_cfg), threads_(threads),
+      metrics_(metrics != nullptr ? metrics : &metrics::Registry::global())
+{
+    if (shards <= 0)
+        shards = std::min(ThreadPool::defaultThreads(), 8);
+    shards_.reserve(static_cast<std::size_t>(shards));
+    for (int i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+    metrics_->gauge("shards").set(shards);
+}
+
+std::uint64_t
+ShardedMaster::submit(TraceRequest req)
+{
+    req.id = log_.allocateId();
+    req.phase = RequestPhase::kPending;
+    std::uint64_t id = req.id;
+    Shard &shard = shardFor(id);
+    {
+        std::lock_guard<std::mutex> lk(shard.mu);
+        shard.requests.emplace(id, std::move(req));
+    }
+    metrics_->counter("api.submits").add();
+    return id;
+}
+
+std::uint64_t
+ShardedMaster::apply(const std::string &manifest)
+{
+    return submit(TraceRequest::parse(manifest));
+}
+
+const TraceRequest *
+ShardedMaster::request(std::uint64_t id) const
+{
+    Shard &shard = shardFor(id);
+    std::lock_guard<std::mutex> lk(shard.mu);
+    auto it = shard.requests.find(id);
+    return it == shard.requests.end() ? nullptr : &it->second;
+}
+
+const TraceReport *
+ShardedMaster::report(std::uint64_t id) const
+{
+    Shard &shard = shardFor(id);
+    std::lock_guard<std::mutex> lk(shard.mu);
+    auto it = shard.reports.find(id);
+    return it == shard.reports.end() ? nullptr : &it->second;
+}
+
+void
+ShardedMaster::reconcile()
+{
+    // Snapshot the pending ids per shard and rank every pending id in
+    // global id order — the rank is its commit sequence, making the
+    // sequenced tail of publishing identical to the serial Master's
+    // request-order loop.
+    std::size_t nshards = shards_.size();
+    std::vector<std::vector<std::uint64_t>> pending(nshards);
+    std::vector<std::uint64_t> all;
+    for (std::size_t s = 0; s < nshards; ++s) {
+        std::lock_guard<std::mutex> lk(shards_[s]->mu);
+        for (auto &[id, req] : shards_[s]->requests)
+            if (req.phase == RequestPhase::kPending) {
+                pending[s].push_back(id);
+                all.push_back(id);
+            }
+    }
+    std::sort(all.begin(), all.end());
+    std::map<std::uint64_t, std::uint64_t> seq_of;
+    for (std::size_t i = 0; i < all.size(); ++i)
+        seq_of[all[i]] = i;
+
+    log_.beginEpoch(all.size());
+
+    auto runShard = [&](std::size_t s) {
+        reconcileShard(s, pending[s], seq_of);
+    };
+    if (threads_ == 1 || nshards == 1) {
+        for (std::size_t s = 0; s < nshards; ++s)
+            runShard(s);
+    } else if (threads_ > 1) {
+        ThreadPool pool(std::min<int>(threads_,
+                                      static_cast<int>(nshards)));
+        pool.parallelFor(0, nshards, runShard);
+        metrics_->gauge("pool.tasks_run")
+            .add(static_cast<std::int64_t>(pool.tasksRun()));
+        metrics_->gauge("pool.steals")
+            .add(static_cast<std::int64_t>(pool.steals()));
+    } else {
+        ThreadPool &pool = ThreadPool::shared();
+        pool.parallelFor(0, nshards, runShard);
+        metrics_->gauge("pool.tasks_run")
+            .set(static_cast<std::int64_t>(pool.tasksRun()));
+        metrics_->gauge("pool.steals")
+            .set(static_cast<std::int64_t>(pool.steals()));
+    }
+
+    EXIST_ASSERT(log_.epochComplete(),
+                 "reconcile finished with uncommitted requests");
+}
+
+void
+ShardedMaster::reconcileShard(std::size_t index,
+                              const std::vector<std::uint64_t> &ids,
+                              const std::map<std::uint64_t,
+                                             std::uint64_t> &seq_of)
+{
+    metrics::Scope scope(*metrics_, "shard." + std::to_string(index));
+    metrics::Counter &reconciles = scope.counter("reconciles");
+    metrics::Counter &shard_sessions = scope.counter("sessions");
+    metrics::Histogram &latency = metrics_->histogram("reconcile.latency_us");
+    metrics::Counter &reordered = metrics_->counter("commitlog.reordered");
+    Shard &shard = *shards_[index];
+
+    for (std::uint64_t id : ids) {
+        auto t0 = std::chrono::steady_clock::now();
+        TraceRequest *req;
+        {
+            // Pointer into the node-stable map; the map structure is
+            // not mutated while reconcile runs.
+            std::lock_guard<std::mutex> lk(shard.mu);
+            req = &shard.requests.at(id);
+        }
+
+        // Plan on the request's private RNG stream, then run its
+        // worker-node sessions in this shard's lane.
+        RequestPlan plan = planRequest(cluster_, rco_, *req, threads_);
+        for (SessionPlan &session : plan.sessions) {
+            session.result = Testbed::run(session.spec);
+            recordSessionMetrics(session.result);
+        }
+        sessions_run_.fetch_add(plan.sessions.size(),
+                                std::memory_order_relaxed);
+        shard_sessions.add(plan.sessions.size());
+
+        // Bulk data path goes to the striped stores concurrently;
+        // only the small sequenced tail rides the commit log.
+        TraceReport report;
+        bool completed = req->phase == RequestPhase::kRunning;
+        if (completed) {
+            StripedSink sink(oss_, odps_, *metrics_);
+            report = publishRequest(plan, sink);
+        }
+
+        std::uint64_t sessions = plan.sessions.size();
+        Cycles period = plan.period;
+        std::size_t applied = log_.commit(
+            seq_of.at(id),
+            [this, &shard, req, completed, sessions, period,
+             report = std::move(report)]() mutable {
+                if (!completed)
+                    return;  // failed during planning: stays kFailed
+                ledger_.recordRequest(req->app, sessions, period,
+                                      report.total_trace_bytes);
+                {
+                    std::lock_guard<std::mutex> lk(shard.mu);
+                    shard.reports.emplace(req->id, std::move(report));
+                }
+                req->phase = RequestPhase::kCompleted;
+            });
+        if (applied == 0)
+            reordered.add();
+        metrics_->counter("commitlog.commits").add();
+
+        reconciles.add();
+        latency.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+    }
+}
+
+void
+ShardedMaster::recordSessionMetrics(const ExperimentResult &result)
+{
+    // Session-level OTC/UMA telemetry: control-op and register-write
+    // pressure is the node-side cost the control plane must watch.
+    metrics_->counter("otc.control_ops")
+        .add(result.backend_stats.control_ops);
+    metrics_->counter("otc.trace_bytes")
+        .add(result.backend_stats.trace_real_bytes);
+    metrics_->counter("otc.dropped_bytes")
+        .add(result.backend_stats.dropped_real_bytes);
+    metrics_->counter("uma.msr_writes")
+        .add(result.backend_stats.msr_writes);
+    metrics_->counter("sessions.run").add();
+}
+
+Master::Footprint
+ShardedMaster::managementFootprint() const
+{
+    // Per-shard footprints summed: each shard carries its slice of the
+    // API-server state plus a fixed per-shard overhead (reconcile
+    // loop, stripe locks), on top of the pool-thread memory.
+    double nodes = cluster_->numNodes();
+    auto nshards = static_cast<double>(shards_.size());
+    int threads = threads_ > 0 ? threads_ : ThreadPool::defaultThreads();
+    Master::Footprint f{0.0, 0.0};
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+        f.cores += (0.0008 + 0.0002 * nodes) / nshards;
+        f.memory_mb += (36.0 + 0.4 * nodes) / nshards + 0.5;
+    }
+    f.cores += 5e-6 * threads;
+    f.memory_mb += 8.0 * threads;
+    return f;
+}
+
+}  // namespace exist

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Sharded control plane (the ROADMAP's "sharded cluster reconcile"):
+ * the API-server state — TraceRequests, reports, per-request planning
+ * RNG streams — is partitioned across N shards by request id; each
+ * shard runs its own reconcile loop on the runtime work-stealing pool,
+ * publishing to lock-striped stores so shards never contend on one
+ * store mutex. Cross-shard invariants (the global id stream, RCO
+ * coverage accounting, report registration order) go through a small
+ * sequenced CommitLog.
+ *
+ * Determinism: reports are bit-identical to the serial Master for any
+ * shard count and any scheduling, because
+ *   - planning uses the per-request RNG stream
+ *     splitmix64(cluster seed, request id) (shared planRequest),
+ *   - sessions are deterministic simulations keyed by (seed, node,
+ *     request id),
+ *   - publishing iterates sessions in plan order (shared
+ *     publishRequest), and
+ *   - the sequenced commit applies coverage accounting in global
+ *     request-id order.
+ * Only wall-clock time changes with the shard count.
+ */
+#ifndef EXIST_CLUSTER_SHARD_SHARDED_MASTER_H
+#define EXIST_CLUSTER_SHARD_SHARDED_MASTER_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/master.h"
+#include "cluster/metrics.h"
+#include "cluster/shard/commit_log.h"
+#include "cluster/shard/plan.h"
+#include "cluster/shard/striped_store.h"
+#include "core/rco.h"
+
+namespace exist {
+
+class ShardedMaster
+{
+  public:
+    /**
+     * shards: number of API-server shards (reconcile lanes). 0 picks
+     * min(hardware threads, 8). threads: session/decode parallelism
+     * knob with the same meaning as Master's (1 = fully serial
+     * sessions, 0 = shared pool). metrics: registry to record into
+     * (nullptr = the process-global registry).
+     */
+    explicit ShardedMaster(Cluster *cluster, RcoConfig rco_cfg = {},
+                           int shards = 0, int threads = 0,
+                           metrics::Registry *metrics = nullptr);
+
+    /** Create a TraceRequest (API server write; thread-safe). */
+    std::uint64_t submit(TraceRequest req);
+    /** Convenience: submit from a manifest string. */
+    std::uint64_t apply(const std::string &manifest);
+
+    /** Run every shard's controller loop until nothing is pending. */
+    void reconcile();
+
+    const TraceRequest *request(std::uint64_t id) const;
+    const TraceReport *report(std::uint64_t id) const;
+
+    StripedObjectStore &oss() { return oss_; }
+    StripedOdpsTable &odps() { return odps_; }
+    const RepetitionAwareCoverageOptimizer &rco() const { return rco_; }
+    /** Coverage accounting, committed in request-id order. */
+    const CoverageLedger &coverage() const { return ledger_; }
+    metrics::Registry &metrics() { return *metrics_; }
+
+    int shardCount() const { return static_cast<int>(shards_.size()); }
+    std::uint64_t sessionsRun() const
+    {
+        return sessions_run_.load(std::memory_order_relaxed);
+    }
+
+    /** Per-shard footprints summed + pool-thread memory (Fig. 17
+     *  telemetry for the sharded plane). */
+    Master::Footprint managementFootprint() const;
+
+  private:
+    /** One API-server shard: owns the requests/reports with
+     *  id % shardCount() == its index. */
+    struct Shard {
+        mutable std::mutex mu;  ///< guards the two maps' structure
+        std::map<std::uint64_t, TraceRequest> requests;
+        std::map<std::uint64_t, TraceReport> reports;
+    };
+
+    Shard &shardFor(std::uint64_t id) const
+    {
+        return *shards_[id % shards_.size()];
+    }
+
+    /** Reconcile one shard's pending requests (runs on a pool worker;
+     *  seq_of maps request id -> global commit sequence). */
+    void reconcileShard(std::size_t index,
+                        const std::vector<std::uint64_t> &ids,
+                        const std::map<std::uint64_t, std::uint64_t>
+                            &seq_of);
+    void recordSessionMetrics(const ExperimentResult &result);
+
+    Cluster *cluster_;
+    RepetitionAwareCoverageOptimizer rco_;
+    int threads_;
+    metrics::Registry *metrics_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    CommitLog log_;
+    CoverageLedger ledger_;  ///< mutated only inside sequenced commits
+    StripedObjectStore oss_;
+    StripedOdpsTable odps_;
+    std::atomic<std::uint64_t> sessions_run_{0};
+};
+
+}  // namespace exist
+
+#endif  // EXIST_CLUSTER_SHARD_SHARDED_MASTER_H

@@ -1,0 +1,156 @@
+#include "cluster/shard/striped_store.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/logging.h"
+
+namespace exist {
+
+StripedObjectStore::StripedObjectStore(int stripes)
+{
+    EXIST_ASSERT(stripes > 0, "stripe count must be positive");
+    stripes_.reserve(static_cast<std::size_t>(stripes));
+    for (int i = 0; i < stripes; ++i)
+        stripes_.push_back(std::make_unique<Stripe>());
+}
+
+StripedObjectStore::Stripe &
+StripedObjectStore::stripeFor(const std::string &key) const
+{
+    return *stripes_[std::hash<std::string>{}(key) % stripes_.size()];
+}
+
+void
+StripedObjectStore::put(const std::string &key,
+                        std::vector<std::uint8_t> bytes)
+{
+    Stripe &s = stripeFor(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.store.put(key, std::move(bytes));
+}
+
+bool
+StripedObjectStore::exists(const std::string &key) const
+{
+    Stripe &s = stripeFor(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.store.exists(key);
+}
+
+const std::vector<std::uint8_t> &
+StripedObjectStore::get(const std::string &key) const
+{
+    Stripe &s = stripeFor(key);
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.store.get(key);
+}
+
+std::vector<std::string>
+StripedObjectStore::listPrefix(const std::string &prefix) const
+{
+    std::vector<std::string> keys;
+    for (const auto &s : stripes_) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        std::vector<std::string> part = s->store.listPrefix(prefix);
+        keys.insert(keys.end(),
+                    std::make_move_iterator(part.begin()),
+                    std::make_move_iterator(part.end()));
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+std::uint64_t
+StripedObjectStore::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : stripes_) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        total += s->store.totalBytes();
+    }
+    return total;
+}
+
+std::size_t
+StripedObjectStore::objectCount() const
+{
+    std::size_t total = 0;
+    for (const auto &s : stripes_) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        total += s->store.objectCount();
+    }
+    return total;
+}
+
+StripedOdpsTable::StripedOdpsTable(int stripes)
+{
+    EXIST_ASSERT(stripes > 0, "stripe count must be positive");
+    stripes_.reserve(static_cast<std::size_t>(stripes));
+    for (int i = 0; i < stripes; ++i)
+        stripes_.push_back(std::make_unique<Stripe>());
+}
+
+StripedOdpsTable::Stripe &
+StripedOdpsTable::stripeFor(std::uint64_t request_id) const
+{
+    // Rows of one request stay on one stripe: a shard publishing a
+    // request takes exactly one stripe lock per row, and queryRequest
+    // touches one stripe's worth of rows.
+    return *stripes_[request_id % stripes_.size()];
+}
+
+void
+StripedOdpsTable::sortRows(std::vector<const TraceRow *> &rows)
+{
+    std::sort(rows.begin(), rows.end(),
+              [](const TraceRow *a, const TraceRow *b) {
+                  if (a->request_id != b->request_id)
+                      return a->request_id < b->request_id;
+                  return a->node < b->node;
+              });
+}
+
+void
+StripedOdpsTable::insert(TraceRow row)
+{
+    Stripe &s = stripeFor(row.request_id);
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.table.insert(std::move(row));
+}
+
+std::vector<const TraceRow *>
+StripedOdpsTable::queryApp(const std::string &app) const
+{
+    std::vector<const TraceRow *> out;
+    for (const auto &s : stripes_) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        std::vector<const TraceRow *> part = s->table.queryApp(app);
+        out.insert(out.end(), part.begin(), part.end());
+    }
+    sortRows(out);
+    return out;
+}
+
+std::vector<const TraceRow *>
+StripedOdpsTable::queryRequest(std::uint64_t request_id) const
+{
+    Stripe &s = stripeFor(request_id);
+    std::lock_guard<std::mutex> lk(s.mu);
+    std::vector<const TraceRow *> out = s.table.queryRequest(request_id);
+    sortRows(out);
+    return out;
+}
+
+std::size_t
+StripedOdpsTable::rowCount() const
+{
+    std::size_t total = 0;
+    for (const auto &s : stripes_) {
+        std::lock_guard<std::mutex> lk(s->mu);
+        total += s->table.rowCount();
+    }
+    return total;
+}
+
+}  // namespace exist

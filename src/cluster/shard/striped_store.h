@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Lock-striped variants of the data-path stores. Publishes from
+ * different shards land on different stripes (hash of key /
+ * request id), so concurrent uploads never contend on one store-wide
+ * mutex; aggregate views (listPrefix, queries, counts) merge across
+ * stripes with a deterministic sort so their results do not depend on
+ * which shard published first.
+ *
+ * Each stripe embeds the plain ObjectStore / OdpsTable — the striped
+ * store is a placement + locking policy, not a second storage
+ * implementation.
+ */
+#ifndef EXIST_CLUSTER_SHARD_STRIPED_STORE_H
+#define EXIST_CLUSTER_SHARD_STRIPED_STORE_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/storage.h"
+
+namespace exist {
+
+/** Striped unstructured object storage. */
+class StripedObjectStore
+{
+  public:
+    explicit StripedObjectStore(int stripes = 16);
+
+    void put(const std::string &key, std::vector<std::uint8_t> bytes);
+    bool exists(const std::string &key) const;
+    /** Reference valid until the next put() of the same key (same
+     *  contract as the plain ObjectStore). */
+    const std::vector<std::uint8_t> &get(const std::string &key) const;
+    /** Matching keys across all stripes, sorted. */
+    std::vector<std::string> listPrefix(const std::string &prefix) const;
+
+    std::uint64_t totalBytes() const;
+    std::size_t objectCount() const;
+    int stripeCount() const { return static_cast<int>(stripes_.size()); }
+
+  private:
+    struct Stripe {
+        mutable std::mutex mu;
+        ObjectStore store;
+    };
+    Stripe &stripeFor(const std::string &key) const;
+
+    std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+/** Striped structured result storage. */
+class StripedOdpsTable
+{
+  public:
+    explicit StripedOdpsTable(int stripes = 16);
+
+    void insert(TraceRow row);
+    /**
+     * Rows for one app / request across all stripes, sorted by
+     * (request_id, node) — a stable order even though stripe insertion
+     * order depends on shard timing. Pointers are valid until the next
+     * insert (same contract as the plain OdpsTable).
+     */
+    std::vector<const TraceRow *> queryApp(const std::string &app) const;
+    std::vector<const TraceRow *>
+    queryRequest(std::uint64_t request_id) const;
+
+    std::size_t rowCount() const;
+    int stripeCount() const { return static_cast<int>(stripes_.size()); }
+
+  private:
+    struct Stripe {
+        mutable std::mutex mu;
+        OdpsTable table;
+    };
+    Stripe &stripeFor(std::uint64_t request_id) const;
+    static void sortRows(std::vector<const TraceRow *> &rows);
+
+    std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_CLUSTER_SHARD_STRIPED_STORE_H

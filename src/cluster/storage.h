@@ -44,6 +44,8 @@ struct TraceRow {
     double accuracy = 0.0;
     std::vector<std::uint64_t> function_insns;
     std::vector<std::uint64_t> function_entries;
+
+    bool operator==(const TraceRow &) const = default;
 };
 
 /** Structured result storage (ODPS mock) with query-by-app. */

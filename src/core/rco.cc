@@ -80,4 +80,25 @@ RepetitionAwareCoverageOptimizer::selectWorkers(const AppDeployment &d,
     return all;
 }
 
+void
+CoverageLedger::recordRequest(const std::string &app,
+                              std::uint64_t sessions, Cycles period,
+                              std::uint64_t trace_bytes)
+{
+    AppCoverage &cov = apps_[app];
+    cov.requests += 1;
+    cov.sessions += sessions;
+    cov.trace_bytes += trace_bytes;
+    cov.last_period = period;
+    total_requests_ += 1;
+    total_sessions_ += sessions;
+}
+
+const CoverageLedger::AppCoverage *
+CoverageLedger::find(const std::string &app) const
+{
+    auto it = apps_.find(app);
+    return it == apps_.end() ? nullptr : &it->second;
+}
+
 }  // namespace exist

@@ -15,6 +15,7 @@
 #define EXIST_CORE_RCO_H
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,44 @@ class RepetitionAwareCoverageOptimizer
 
   private:
     RcoConfig cfg_;
+};
+
+/**
+ * Cross-request coverage accounting for the RCO (paper §3.4): how much
+ * observation each application has accumulated. Controllers record one
+ * entry per completed TraceRequest *in request-id order* (the sharded
+ * control plane sequences this through its commit log), so the ledger
+ * contents are deterministic and identical between the serial and the
+ * sharded reconcile paths for the same submit stream.
+ */
+class CoverageLedger
+{
+  public:
+    struct AppCoverage {
+        std::uint64_t requests = 0;  ///< completed TraceRequests
+        std::uint64_t sessions = 0;  ///< worker-node sessions traced
+        std::uint64_t trace_bytes = 0;
+        Cycles last_period = 0;  ///< period of the latest request
+
+        bool operator==(const AppCoverage &) const = default;
+    };
+
+    void recordRequest(const std::string &app, std::uint64_t sessions,
+                       Cycles period, std::uint64_t trace_bytes);
+
+    /** Per-app totals; nullptr when the app was never traced. */
+    const AppCoverage *find(const std::string &app) const;
+
+    std::uint64_t totalRequests() const { return total_requests_; }
+    std::uint64_t totalSessions() const { return total_sessions_; }
+    std::size_t appCount() const { return apps_.size(); }
+
+    bool operator==(const CoverageLedger &) const = default;
+
+  private:
+    std::map<std::string, AppCoverage> apps_;
+    std::uint64_t total_requests_ = 0;
+    std::uint64_t total_sessions_ = 0;
 };
 
 }  // namespace exist

@@ -115,6 +115,7 @@ ThreadPool::takeTask(std::size_t home, Task &out)
     for (std::size_t k = 1; k < n; ++k) {
         if (stealFrom((home + k) % n, out)) {
             queued_.fetch_sub(1, std::memory_order_relaxed);
+            steals_.fetch_add(1, std::memory_order_relaxed);
             return true;
         }
     }
@@ -130,6 +131,7 @@ ThreadPool::workerLoop(std::size_t index)
         if (takeTask(index, task)) {
             task();
             task = nullptr;
+            tasks_run_.fetch_add(1, std::memory_order_relaxed);
             continue;
         }
         // Nothing queued anywhere. Exit only when stopping: a task
@@ -187,6 +189,7 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
             if (takeTask(home, task)) {
                 task();
                 task = nullptr;
+                tasks_run_.fetch_add(1, std::memory_order_relaxed);
             } else {
                 f.wait_for(std::chrono::microseconds(100));
             }

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -43,6 +44,18 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     int size() const { return static_cast<int>(workers_.size()); }
+
+    /** Tasks executed so far (by workers or by helping waiters). */
+    std::uint64_t tasksRun() const
+    {
+        return tasks_run_.load(std::memory_order_relaxed);
+    }
+    /** Tasks taken from another worker's deque (load-balance events —
+     *  a coarse skew signal for the control-plane metrics). */
+    std::uint64_t steals() const
+    {
+        return steals_.load(std::memory_order_relaxed);
+    }
 
     /** Hardware concurrency, clamped to at least 1. */
     static int defaultThreads();
@@ -102,6 +115,10 @@ class ThreadPool
     std::atomic<std::size_t> queued_{0};
     std::atomic<std::size_t> next_queue_{0};
     std::atomic<bool> stop_{false};
+
+    // Telemetry (relaxed: trend counters, not synchronization).
+    std::atomic<std::uint64_t> tasks_run_{0};
+    std::atomic<std::uint64_t> steals_{0};
 };
 
 }  // namespace exist

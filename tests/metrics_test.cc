@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the control-plane metrics registry
+ * (cluster/metrics.h): counter/gauge/histogram semantics, stable
+ * object identity across lookups, scoped naming, and JSON export.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/metrics.h"
+
+namespace exist {
+namespace {
+
+TEST(MetricsTest, CounterAccumulates)
+{
+    metrics::Registry registry;
+    metrics::Counter &c = registry.counter("reconciles");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(MetricsTest, GaugeSetsAndAdjusts)
+{
+    metrics::Registry registry;
+    metrics::Gauge &g = registry.gauge("pending");
+    g.set(10);
+    EXPECT_EQ(g.value(), 10);
+    g.add(-3);
+    EXPECT_EQ(g.value(), 7);
+    g.set(-2);
+    EXPECT_EQ(g.value(), -2);
+}
+
+TEST(MetricsTest, HistogramTracksDistribution)
+{
+    metrics::Registry registry;
+    metrics::Histogram &h = registry.histogram("latency_us");
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.99), 0u);
+
+    for (std::uint64_t v : {1u, 2u, 4u, 8u, 1000u})
+        h.record(v);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 1015u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), 203.0);
+    // Log-bucketed estimates: loose bounds, not exact ranks.
+    EXPECT_LE(h.percentile(0.5), 8u);
+    EXPECT_GE(h.percentile(0.5), 1u);
+    // The top percentile lands in the max's bucket, clamped to max.
+    EXPECT_GE(h.percentile(0.99), 512u);
+    EXPECT_LE(h.percentile(0.99), 1000u);
+    // Estimates never escape the observed range.
+    EXPECT_GE(h.percentile(0.0), h.min());
+    EXPECT_LE(h.percentile(1.0), h.max());
+}
+
+TEST(MetricsTest, HistogramSingleValue)
+{
+    metrics::Registry registry;
+    metrics::Histogram &h = registry.histogram("h");
+    h.record(777);
+    EXPECT_EQ(h.min(), 777u);
+    EXPECT_EQ(h.max(), 777u);
+    EXPECT_EQ(h.percentile(0.5), 777u);
+    EXPECT_EQ(h.percentile(0.99), 777u);
+}
+
+TEST(MetricsTest, LookupsReturnSameObject)
+{
+    metrics::Registry registry;
+    EXPECT_EQ(&registry.counter("x"), &registry.counter("x"));
+    EXPECT_NE(&registry.counter("x"), &registry.counter("y"));
+    EXPECT_EQ(&registry.gauge("x"), &registry.gauge("x"));
+    EXPECT_EQ(&registry.histogram("x"), &registry.histogram("x"));
+}
+
+TEST(MetricsTest, NamesAreSortedAcrossKinds)
+{
+    metrics::Registry registry;
+    registry.counter("b.count");
+    registry.gauge("a.gauge");
+    registry.histogram("c.hist");
+    std::vector<std::string> names = registry.names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "a.gauge");
+    EXPECT_EQ(names[1], "b.count");
+    EXPECT_EQ(names[2], "c.hist");
+}
+
+TEST(MetricsTest, ScopePrefixesNames)
+{
+    metrics::Registry registry;
+    metrics::Scope scope(registry, "shard.3");
+    scope.counter("reconciles").add(5);
+    EXPECT_EQ(registry.counter("shard.3.reconciles").value(), 5u);
+    scope.gauge("pending").set(2);
+    EXPECT_EQ(registry.gauge("shard.3.pending").value(), 2);
+    scope.histogram("latency_us").record(9);
+    EXPECT_EQ(registry.histogram("shard.3.latency_us").count(), 1u);
+}
+
+TEST(MetricsTest, ToJsonRendersAllKinds)
+{
+    metrics::Registry registry;
+    registry.counter("oss.puts").add(3);
+    registry.gauge("shards").set(4);
+    registry.histogram("reconcile.latency_us").record(100);
+    std::string json = registry.toJson();
+    EXPECT_NE(json.find("\"counters\":{\"oss.puts\":3}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"gauges\":{\"shards\":4}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"reconcile.latency_us\":{\"count\":1"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"min\":100"), std::string::npos);
+    EXPECT_NE(json.find("\"max\":100"), std::string::npos);
+}
+
+TEST(MetricsTest, ToJsonEmptyRegistry)
+{
+    metrics::Registry registry;
+    EXPECT_EQ(registry.toJson(),
+              "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(MetricsTest, GlobalRegistryIsAProcessSingleton)
+{
+    EXPECT_EQ(&metrics::Registry::global(),
+              &metrics::Registry::global());
+}
+
+}  // namespace
+}  // namespace exist

@@ -1,18 +1,23 @@
 #!/usr/bin/env python3
-"""Run the decode benchmarks and aggregate their JSON lines.
+"""Run a benchmark set and aggregate its JSON lines.
 
-Each decode bench binary prints one machine-readable line per
-configuration, prefixed "JSON ". This driver runs decode_throughput and
-decode_latency, collects those lines, and writes one aggregate document
-(default BENCH_decode.json at the repo root) so CI can diff the decode
-runtime's trajectory run-over-run.
+Each bench binary prints one machine-readable line per configuration,
+prefixed "JSON ". This driver runs the binaries of the chosen set,
+collects those lines, and writes one aggregate document (default
+BENCH_<set>.json at the repo root) so CI can diff the trajectory
+run-over-run.
+
+Sets:
+    decode   decode_throughput + decode_latency  -> BENCH_decode.json
+    cluster  reconcile_throughput                -> BENCH_cluster.json
 
 Usage:
-    tools/bench_trends.py [--build-dir build] [--out BENCH_decode.json]
-                          [--scale 0.25]
+    tools/bench_trends.py [--set decode] [--build-dir build]
+                          [--out BENCH_decode.json] [--scale 0.25]
 
 Only the standard library is used. Exit status is non-zero if a bench
-binary is missing, fails, or emits no JSON lines.
+binary is missing, fails, emits no JSON lines, or any configuration
+diverged from its serial reference.
 """
 
 import argparse
@@ -21,7 +26,10 @@ import os
 import subprocess
 import sys
 
-BENCHES = ["decode_throughput", "decode_latency"]
+BENCH_SETS = {
+    "decode": ["decode_throughput", "decode_latency"],
+    "cluster": ["reconcile_throughput"],
+}
 
 
 def run_bench(path, scale):
@@ -63,21 +71,40 @@ def summarize(records):
             "trace_end_to_report_s": best.get("trace_end_to_report_s"),
             "all_identical": all(r.get("identical") for r in lat),
         }
+    rec = [r for r in records
+           if r.get("bench") == "reconcile_throughput"
+           and r.get("mode") == "sharded"]
+    if rec:
+        best = max(rec, key=lambda r: r.get("requests_per_sec", 0.0))
+        summary["reconcile_throughput"] = {
+            "best_requests_per_sec": best.get("requests_per_sec"),
+            "best_shards": best.get("shards"),
+            "best_speedup_vs_serial": best.get("speedup"),
+            "p99_latency_us_at_best": best.get("p99_latency_us"),
+            "all_identical": all(r.get("identical") for r in rec),
+        }
     return summary
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--set", dest="bench_set", default="decode",
+                    choices=sorted(BENCH_SETS),
+                    help="benchmark set to run (default: decode)")
     ap.add_argument("--build-dir", default="build",
                     help="CMake build directory (default: build)")
-    ap.add_argument("--out", default="BENCH_decode.json",
-                    help="aggregate output path")
+    ap.add_argument("--out", default=None,
+                    help="aggregate output path "
+                         "(default: BENCH_<set>.json)")
     ap.add_argument("--scale", default=None,
                     help="EXIST_BENCH_SCALE for quick runs, e.g. 0.25")
     args = ap.parse_args()
 
+    benches = BENCH_SETS[args.bench_set]
+    out_path = args.out or f"BENCH_{args.bench_set}.json"
+
     records = []
-    for name in BENCHES:
+    for name in benches:
         path = os.path.join(args.build_dir, "bench", name)
         if not os.path.exists(path):
             print(f"bench binary not found: {path} "
@@ -96,15 +123,15 @@ def main():
         print(f"  {len(lines)} configurations")
 
     doc = {
-        "benches": BENCHES,
+        "benches": benches,
         "scale": args.scale,
         "records": records,
         "summary": summarize(records),
     }
-    with open(args.out, "w") as f:
+    with open(out_path, "w") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")
-    print(f"wrote {args.out}: {len(records)} records")
+    print(f"wrote {out_path}: {len(records)} records")
     for bench, s in doc["summary"].items():
         print(f"  {bench}: {s}")
     if not all(s.get("all_identical", True)

@@ -9,13 +9,16 @@
  *   existctl trace <app> [--period-ms N] [--budget-mb N]
  *                        [--backend EXIST|StaSam|eBPF|NHT]
  *                        [--cores N] [--clients N] [--report]
- *                        [--threads N] [--streaming]
+ *                        [--threads N] [--streaming] [--shards N]
  *       Run one node-level tracing session against a synthetic
  *       deployment of <app> and print the session statistics; with
  *       --report, also synthesize the human-readable behaviour report.
  *       --streaming overlaps trace collection with flow reconstruction
  *       (EXIST backend only), shrinking the trace-end-to-report-ready
  *       latency; the decoded output is bit-identical to batch.
+ *       --shards N switches to the sharded control plane: a demo
+ *       cluster deploys <app>, a stream of anomaly requests reconciles
+ *       across N API-server shards, and the merged reports print.
  *
  *   existctl cluster <manifest>... [--threads N]
  *       Stand up a demo ten-node cluster with the cloud applications
@@ -23,10 +26,18 @@
  *       "app=Search1 anomaly=true period_ms=200"), reconcile, and
  *       print the merged reports.
  *
+ *   existctl metrics [<manifest>...] [--shards N] [--threads N]
+ *       Dump the process-global control-plane metrics registry as one
+ *       JSON object. With manifests, first reconcile them on the demo
+ *       cluster through a ShardedMaster recording into that registry,
+ *       so the dump shows a live control plane.
+ *
  * --threads N sets the decode/reconcile parallelism (default: hardware
  * concurrency; --threads 1 is the fully serial path). The output is
- * bit-identical at any thread count — threads only change wall time.
+ * bit-identical at any thread or shard count — they only change wall
+ * time.
  */
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -36,6 +47,8 @@
 #include "analysis/report.h"
 #include "analysis/testbed.h"
 #include "cluster/master.h"
+#include "cluster/metrics.h"
+#include "cluster/shard/sharded_master.h"
 #include "core/exist_backend.h"
 #include "decode/parallel_decoder.h"
 #include "workload/app_profile.h"
@@ -52,8 +65,10 @@ usage()
         "       existctl trace <app> [--period-ms N] [--budget-mb N]\n"
         "                      [--backend NAME] [--cores N]\n"
         "                      [--clients N] [--report] [--threads N]\n"
-        "                      [--streaming]\n"
-        "       existctl cluster <manifest>... [--threads N]\n",
+        "                      [--streaming] [--shards N]\n"
+        "       existctl cluster <manifest>... [--threads N]\n"
+        "       existctl metrics [<manifest>...] [--shards N]\n"
+        "                      [--threads N]\n",
         stderr);
     return 2;
 }
@@ -73,6 +88,78 @@ cmdListApps()
     return 0;
 }
 
+/** Print one reconciled request deterministically (stdout must stay
+ *  byte-comparable across shard/thread counts). */
+template <typename MasterT>
+void
+printReports(MasterT &master, const std::vector<std::uint64_t> &ids)
+{
+    for (std::uint64_t id : ids) {
+        const TraceRequest *req = master.request(id);
+        std::printf("\nrequest #%llu: %s -> %s\n",
+                    (unsigned long long)id, req->toManifest().c_str(),
+                    requestPhaseName(req->phase));
+        const TraceReport *rep = master.report(id);
+        if (rep == nullptr)
+            continue;
+        std::printf("  period %.0f ms, %zu workers, merged accuracy "
+                    "%.1f%%, %.1f MB in OSS\n",
+                    cyclesToMs(rep->period), rep->traced_nodes.size(),
+                    100 * rep->merged_accuracy,
+                    rep->total_trace_bytes / 1048576.0);
+    }
+    std::printf("\nOSS: %zu objects, ODPS: %zu rows\n",
+                master.oss().objectCount(), master.odps().rowCount());
+}
+
+/** `trace --shards N`: the same request, reconciled by the sharded
+ *  control plane on a demo cluster deploying the app. */
+int
+traceSharded(const std::string &app, double period_ms,
+             std::uint64_t budget_mb, int shards, int threads)
+{
+    ClusterConfig cc;
+    cc.num_nodes = 6;
+    cc.cores_per_node = 4;
+    Cluster cluster(cc);
+    cluster.deploy(app, 3);
+
+    ShardedMaster master(&cluster, {}, shards, threads);
+    std::string manifest =
+        "app=" + app + " anomaly=true period_ms=" +
+        std::to_string(static_cast<long long>(period_ms)) +
+        " budget_mb=" + std::to_string(budget_mb);
+    // The shard count goes to stderr with the other telemetry so
+    // stdout is byte-comparable across shard counts.
+    std::fprintf(stderr,
+                 "tracing '%s' across %d control-plane shard%s...\n",
+                 app.c_str(), master.shardCount(),
+                 master.shardCount() == 1 ? "" : "s");
+
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 4; ++i)
+        ids.push_back(master.apply(manifest));
+    auto t0 = std::chrono::steady_clock::now();
+    master.reconcile();
+    double wall_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    printReports(master, ids);
+
+    // Wall-clock telemetry, so stderr: stdout stays byte-comparable
+    // across shard counts.
+    metrics::Registry &reg = master.metrics();
+    std::fprintf(stderr,
+                 "reconciled %zu requests in %.1f ms "
+                 "(%.1f req/s, p99 %llu us, %llu sessions)\n",
+                 ids.size(), wall_s * 1e3, ids.size() / wall_s,
+                 (unsigned long long)reg
+                     .histogram("reconcile.latency_us")
+                     .percentile(0.99),
+                 (unsigned long long)master.sessionsRun());
+    return 0;
+}
+
 int
 cmdTrace(int argc, char **argv)
 {
@@ -87,6 +174,7 @@ cmdTrace(int argc, char **argv)
     bool report = false;
     bool streaming = false;
     int threads = 0;  // 0 = default pool (hardware concurrency)
+    int shards = 0;   // 0 = single-node session (no control plane)
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -113,9 +201,14 @@ cmdTrace(int argc, char **argv)
             streaming = true;
         else if (arg == "--threads")
             threads = std::atoi(next());
+        else if (arg == "--shards")
+            shards = std::atoi(next());
         else
             return usage();
     }
+    if (shards > 0)
+        return traceSharded(app, period_ms, budget_mb, shards,
+                            threads);
 
     AppProfile profile = AppCatalog::find(app);
     ExperimentSpec spec;
@@ -211,23 +304,54 @@ cmdCluster(int argc, char **argv)
     for (const char *manifest : manifests)
         ids.push_back(master.apply(manifest));
     master.reconcile();
+    printReports(master, ids);
+    return 0;
+}
 
-    for (std::uint64_t id : ids) {
-        const TraceRequest *req = master.request(id);
-        std::printf("\nrequest #%llu: %s -> %s\n",
-                    (unsigned long long)id, req->toManifest().c_str(),
-                    requestPhaseName(req->phase));
-        const TraceReport *rep = master.report(id);
-        if (rep == nullptr)
-            continue;
-        std::printf("  period %.0f ms, %zu workers, merged accuracy "
-                    "%.1f%%, %.1f MB in OSS\n",
-                    cyclesToMs(rep->period), rep->traced_nodes.size(),
-                    100 * rep->merged_accuracy,
-                    rep->total_trace_bytes / 1048576.0);
+int
+cmdMetrics(int argc, char **argv)
+{
+    int threads = 0;
+    int shards = 0;
+    std::vector<const char *> manifests;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 ||
+            std::strcmp(argv[i], "--shards") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             argv[i]);
+                return 2;
+            }
+            (std::strcmp(argv[i], "--shards") == 0 ? shards
+                                                   : threads) =
+                std::atoi(argv[i + 1]);
+            ++i;
+        } else {
+            manifests.push_back(argv[i]);
+        }
     }
-    std::printf("\nOSS: %zu objects, ODPS: %zu rows\n",
-                master.oss().objectCount(), master.odps().rowCount());
+
+    if (!manifests.empty()) {
+        // Reconcile the manifests on the demo cluster through a
+        // ShardedMaster recording into the global registry, so the
+        // dump shows a live control plane.
+        ClusterConfig cc;
+        cc.num_nodes = 10;
+        cc.cores_per_node = 6;
+        Cluster cluster(cc);
+        cluster.deploy("Search1", 8);
+        cluster.deploy("Search2", 6);
+        cluster.deploy("Cache", 6);
+        cluster.deploy("Pred", 4);
+        cluster.deploy("Agent", 10);
+        ShardedMaster master(&cluster, {}, shards, threads);
+        for (const char *manifest : manifests)
+            master.apply(manifest);
+        master.reconcile();
+        std::fprintf(stderr, "reconciled %zu requests on %d shards\n",
+                     manifests.size(), master.shardCount());
+    }
+    std::printf("%s\n", metrics::Registry::global().toJson().c_str());
     return 0;
 }
 
@@ -245,5 +369,7 @@ main(int argc, char **argv)
         return cmdTrace(argc - 2, argv + 2);
     if (cmd == "cluster")
         return cmdCluster(argc - 2, argv + 2);
+    if (cmd == "metrics")
+        return cmdMetrics(argc - 2, argv + 2);
     return usage();
 }
