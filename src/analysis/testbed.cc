@@ -2,8 +2,6 @@
 
 #include <chrono>
 #include <map>
-#include <mutex>
-#include <unordered_map>
 
 #include "analysis/accuracy.h"
 #include "analysis/ground_truth.h"
@@ -18,6 +16,7 @@
 #include "os/loadgen.h"
 #include "os/service.h"
 #include "util/logging.h"
+#include "util/thread_annotations.h"
 #include "workload/app_profile.h"
 
 namespace exist {
@@ -43,13 +42,14 @@ stableHash(const std::string &s)
 std::shared_ptr<const ProgramBinary>
 binaryFor(const std::string &app, std::uint64_t seed)
 {
-    static std::mutex mu;
+    static Mutex mu(lockorder::LockRank::kLeaf,
+                    "testbed.binary_cache");
     static std::map<std::pair<std::string, std::uint64_t>,
                     std::shared_ptr<const ProgramBinary>>
         cache;
     auto key = std::make_pair(app, seed);
     {
-        std::lock_guard<std::mutex> lk(mu);
+        MutexLock lk(mu);
         auto it = cache.find(key);
         if (it != cache.end())
             return it->second;
@@ -57,7 +57,7 @@ binaryFor(const std::string &app, std::uint64_t seed)
     AppProfile profile = AppCatalog::find(app);
     auto bin = std::make_shared<const ProgramBinary>(
         ProgramBinary::generate(profile, seed));
-    std::lock_guard<std::mutex> lk(mu);
+    MutexLock lk(mu);
     // A racing generator may have inserted first; keep the winner so
     // every caller shares one instance.
     return cache.emplace(key, bin).first->second;

@@ -82,8 +82,12 @@ Master::reconcile()
     // the same plans the sharded control plane computes.
     std::vector<RequestPlan> plans;
     for (auto &[id, req] : requests_)
-        if (req.phase == RequestPhase::kPending)
+        if (req.phase == RequestPhase::kPending) {
             plans.push_back(planRequest(cluster_, rco_, req, threads_));
+            // Single-threaded API server: the transition needs no lock
+            // here, unlike the sharded path (shard.mu).
+            req.phase = plans.back().outcome;
+        }
 
     // Phase 2 — run every (request, worker-node) session concurrently:
     // sessions are independent simulations, so they fan out across the

@@ -31,6 +31,16 @@ namespace exist {
 
 struct RequestPlan;
 
+/**
+ * Threading model: Master is the *serial* control plane — one thread
+ * owns the API-server state (requests_, reports_, the plain stores),
+ * so none of it is lock-bearing; only the independent node sessions
+ * fan out across the thread pool, and they touch no Master state.
+ * The concurrent entry point is ShardedMaster
+ * (cluster/shard/sharded_master.h), whose shard/store/metrics locks
+ * carry Clang thread-safety annotations (util/thread_annotations.h).
+ */
+
 /** The merged outcome of one reconciled trace request. */
 struct TraceReport {
     std::uint64_t request_id = 0;

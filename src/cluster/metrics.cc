@@ -113,7 +113,7 @@ Counter &
 Registry::counter(const std::string &name)
 {
     Stripe &s = stripeFor(name);
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(s.mu);
     auto &slot = s.counters[name];
     if (!slot)
         slot = std::make_unique<Counter>();
@@ -124,7 +124,7 @@ Gauge &
 Registry::gauge(const std::string &name)
 {
     Stripe &s = stripeFor(name);
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(s.mu);
     auto &slot = s.gauges[name];
     if (!slot)
         slot = std::make_unique<Gauge>();
@@ -135,7 +135,7 @@ Histogram &
 Registry::histogram(const std::string &name)
 {
     Stripe &s = stripeFor(name);
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(s.mu);
     auto &slot = s.histograms[name];
     if (!slot)
         slot = std::make_unique<Histogram>();
@@ -147,7 +147,7 @@ Registry::names() const
 {
     std::vector<std::string> out;
     for (const Stripe &s : stripes_) {
-        std::lock_guard<std::mutex> lk(s.mu);
+        MutexLock lk(s.mu);
         for (const auto &[name, c] : s.counters)
             out.push_back(name);
         for (const auto &[name, g] : s.gauges)
@@ -168,7 +168,7 @@ Registry::toJson() const
     std::map<std::string, const Gauge *> gauges;
     std::map<std::string, const Histogram *> histograms;
     for (const Stripe &s : stripes_) {
-        std::lock_guard<std::mutex> lk(s.mu);
+        MutexLock lk(s.mu);
         for (const auto &[name, c] : s.counters)
             counters[name] = c.get();
         for (const auto &[name, g] : s.gauges)

@@ -20,9 +20,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace exist::metrics {
 
@@ -129,10 +130,16 @@ class Registry
     static constexpr std::size_t kStripes = 16;
 
     struct Stripe {
-        mutable std::mutex mu;
-        std::map<std::string, std::unique_ptr<Counter>> counters;
-        std::map<std::string, std::unique_ptr<Gauge>> gauges;
-        std::map<std::string, std::unique_ptr<Histogram>> histograms;
+        mutable Mutex mu{lockorder::LockRank::kMetrics,
+                         "metrics.stripe"};
+        // Ordered maps so names() / toJson() render sorted without a
+        // post-pass — part of the bit-identical-output discipline.
+        std::map<std::string, std::unique_ptr<Counter>> counters
+            EXIST_GUARDED_BY(mu);
+        std::map<std::string, std::unique_ptr<Gauge>> gauges
+            EXIST_GUARDED_BY(mu);
+        std::map<std::string, std::unique_ptr<Histogram>> histograms
+            EXIST_GUARDED_BY(mu);
     };
 
     Stripe &stripeFor(const std::string &name)

@@ -7,7 +7,7 @@ namespace exist {
 void
 CommitLog::beginEpoch(std::uint64_t entries)
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     EXIST_ASSERT(staged_.empty() && next_seq_ == epoch_entries_,
                  "beginEpoch with %zu staged / %llu of %llu committed",
                  staged_.size(), (unsigned long long)next_seq_,
@@ -19,7 +19,7 @@ CommitLog::beginEpoch(std::uint64_t entries)
 std::size_t
 CommitLog::commit(std::uint64_t seq, std::function<void()> fn)
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     EXIST_ASSERT(seq >= next_seq_ && seq < epoch_entries_,
                  "commit seq %llu outside window [%llu, %llu)",
                  (unsigned long long)seq,
@@ -49,14 +49,14 @@ CommitLog::commit(std::uint64_t seq, std::function<void()> fn)
 std::uint64_t
 CommitLog::committed() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return next_seq_;
 }
 
 bool
 CommitLog::epochComplete() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     return next_seq_ == epoch_entries_ && staged_.empty();
 }
 

@@ -31,7 +31,8 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace exist {
 
@@ -68,10 +69,14 @@ class CommitLog
   private:
     std::atomic<std::uint64_t> next_id_{1};
 
-    mutable std::mutex mu_;
-    std::uint64_t next_seq_ = 0;
-    std::uint64_t epoch_entries_ = 0;
-    std::map<std::uint64_t, std::function<void()>> staged_;
+    // Rank kCommitLog sits BELOW kShard in the lock hierarchy: commit
+    // actions legitimately acquire their shard's state lock while the
+    // log mutex is held (drain of staged successors).
+    mutable Mutex mu_{lockorder::LockRank::kCommitLog, "commitlog"};
+    std::uint64_t next_seq_ EXIST_GUARDED_BY(mu_) = 0;
+    std::uint64_t epoch_entries_ EXIST_GUARDED_BY(mu_) = 0;
+    std::map<std::uint64_t, std::function<void()>> staged_
+        EXIST_GUARDED_BY(mu_);
 };
 
 }  // namespace exist

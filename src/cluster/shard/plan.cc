@@ -28,12 +28,12 @@ planRequest(Cluster *cluster,
 {
     RequestPlan plan;
     plan.req = &req;
-    req.phase = RequestPhase::kRunning;
+    plan.outcome = RequestPhase::kRunning;
 
     if (cluster->replicasOf(req.app) == 0) {
         warn("trace request %llu: app %s not deployed",
              (unsigned long long)req.id, req.app.c_str());
-        req.phase = RequestPhase::kFailed;
+        plan.outcome = RequestPhase::kFailed;
         return plan;
     }
 

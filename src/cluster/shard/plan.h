@@ -42,6 +42,12 @@ struct SessionPlan {
  *  session slots filled in by the run phase. */
 struct RequestPlan {
     TraceRequest *req = nullptr;
+    /** Phase the request should transition to (kRunning, or kFailed
+     *  when planning rejected it). planRequest never writes
+     *  req->phase itself: the caller owns the transition so it can
+     *  apply it under whatever lock guards the request (the
+     *  ShardedMaster's shard lock; the serial Master needs none). */
+    RequestPhase outcome = RequestPhase::kFailed;
     Cycles period = 0;
     std::vector<int> workers;
     std::vector<SessionPlan> sessions;
@@ -53,9 +59,10 @@ std::uint64_t requestPlanSeed(std::uint64_t cluster_seed,
 
 /**
  * Phase 1 — plan: consume cluster metadata and the request's private
- * RNG stream, emit the session specs. Marks the request kRunning, or
- * kFailed when the app is not deployed (the plan then has no
- * sessions). `threads` is the controller's parallelism knob and only
+ * RNG stream, emit the session specs. Reports kRunning via
+ * plan.outcome, or kFailed when the app is not deployed (the plan
+ * then has no sessions) — the caller applies the transition under its
+ * request lock. `threads` is the controller's parallelism knob and only
  * selects the per-session decode pool policy (1 = fully serial
  * sessions; anything else shares the process pool, streaming sessions
  * get small dedicated pools) — it never changes the plan itself.

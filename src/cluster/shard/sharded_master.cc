@@ -71,7 +71,7 @@ ShardedMaster::submit(TraceRequest req)
     std::uint64_t id = req.id;
     Shard &shard = shardFor(id);
     {
-        std::lock_guard<std::mutex> lk(shard.mu);
+        MutexLock lk(shard.mu);
         shard.requests.emplace(id, std::move(req));
     }
     metrics_->counter("api.submits").add();
@@ -88,16 +88,27 @@ const TraceRequest *
 ShardedMaster::request(std::uint64_t id) const
 {
     Shard &shard = shardFor(id);
-    std::lock_guard<std::mutex> lk(shard.mu);
+    MutexLock lk(shard.mu);
     auto it = shard.requests.find(id);
     return it == shard.requests.end() ? nullptr : &it->second;
+}
+
+RequestPhase
+ShardedMaster::phaseOf(std::uint64_t id) const
+{
+    Shard &shard = shardFor(id);
+    MutexLock lk(shard.mu);
+    auto it = shard.requests.find(id);
+    EXIST_ASSERT(it != shard.requests.end(),
+                 "phaseOf unknown request %llu", (unsigned long long)id);
+    return it->second.phase;
 }
 
 const TraceReport *
 ShardedMaster::report(std::uint64_t id) const
 {
     Shard &shard = shardFor(id);
-    std::lock_guard<std::mutex> lk(shard.mu);
+    MutexLock lk(shard.mu);
     auto it = shard.reports.find(id);
     return it == shard.reports.end() ? nullptr : &it->second;
 }
@@ -113,8 +124,9 @@ ShardedMaster::reconcile()
     std::vector<std::vector<std::uint64_t>> pending(nshards);
     std::vector<std::uint64_t> all;
     for (std::size_t s = 0; s < nshards; ++s) {
-        std::lock_guard<std::mutex> lk(shards_[s]->mu);
-        for (auto &[id, req] : shards_[s]->requests)
+        Shard &shard = *shards_[s];
+        MutexLock lk(shard.mu);
+        for (auto &[id, req] : shard.requests)
             if (req.phase == RequestPhase::kPending) {
                 pending[s].push_back(id);
                 all.push_back(id);
@@ -173,13 +185,20 @@ ShardedMaster::reconcileShard(std::size_t index,
         {
             // Pointer into the node-stable map; the map structure is
             // not mutated while reconcile runs.
-            std::lock_guard<std::mutex> lk(shard.mu);
+            MutexLock lk(shard.mu);
             req = &shard.requests.at(id);
         }
 
         // Plan on the request's private RNG stream, then run its
-        // worker-node sessions in this shard's lane.
+        // worker-node sessions in this shard's lane. Planning no
+        // longer writes the phase itself: every phase transition
+        // happens under shard.mu, so concurrent phaseOf() readers
+        // never race a bare store.
         RequestPlan plan = planRequest(cluster_, rco_, *req, threads_);
+        {
+            MutexLock lk(shard.mu);
+            req->phase = plan.outcome;
+        }
         for (SessionPlan &session : plan.sessions) {
             session.result = Testbed::run(session.spec);
             recordSessionMetrics(session.result);
@@ -191,7 +210,7 @@ ShardedMaster::reconcileShard(std::size_t index,
         // Bulk data path goes to the striped stores concurrently;
         // only the small sequenced tail rides the commit log.
         TraceReport report;
-        bool completed = req->phase == RequestPhase::kRunning;
+        bool completed = plan.outcome == RequestPhase::kRunning;
         if (completed) {
             StripedSink sink(oss_, odps_, *metrics_);
             report = publishRequest(plan, sink);
@@ -208,10 +227,14 @@ ShardedMaster::reconcileShard(std::size_t index,
                 ledger_.recordRequest(req->app, sessions, period,
                                       report.total_trace_bytes);
                 {
-                    std::lock_guard<std::mutex> lk(shard.mu);
+                    // The phase flip must ride the same lock as the
+                    // report registration: this action may run on
+                    // whichever shard thread drained the reorder
+                    // buffer, racing phaseOf()/report() readers.
+                    MutexLock lk(shard.mu);
                     shard.reports.emplace(req->id, std::move(report));
+                    req->phase = RequestPhase::kCompleted;
                 }
-                req->phase = RequestPhase::kCompleted;
             });
         if (applied == 0)
             reordered.add();

@@ -28,7 +28,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +37,7 @@
 #include "cluster/shard/plan.h"
 #include "cluster/shard/striped_store.h"
 #include "core/rco.h"
+#include "util/thread_annotations.h"
 
 namespace exist {
 
@@ -63,8 +63,16 @@ class ShardedMaster
     /** Run every shard's controller loop until nothing is pending. */
     void reconcile();
 
+    /**
+     * Pointer into the shard's node-stable map. All fields except
+     * `phase` are immutable after submit; read a possibly-in-flight
+     * request's phase through phaseOf(), which takes the shard lock
+     * (the raw pointer would race the reconcile-time transitions).
+     */
     const TraceRequest *request(std::uint64_t id) const;
     const TraceReport *report(std::uint64_t id) const;
+    /** Lock-synchronized phase read; safe while reconcile runs. */
+    RequestPhase phaseOf(std::uint64_t id) const;
 
     StripedObjectStore &oss() { return oss_; }
     StripedOdpsTable &odps() { return odps_; }
@@ -85,11 +93,15 @@ class ShardedMaster
 
   private:
     /** One API-server shard: owns the requests/reports with
-     *  id % shardCount() == its index. */
+     *  id % shardCount() == its index. The lock guards the maps'
+     *  structure and every request's phase transition; the other
+     *  TraceRequest fields are immutable once submitted. */
     struct Shard {
-        mutable std::mutex mu;  ///< guards the two maps' structure
-        std::map<std::uint64_t, TraceRequest> requests;
-        std::map<std::uint64_t, TraceReport> reports;
+        mutable Mutex mu{lockorder::LockRank::kShard, "shard.state"};
+        std::map<std::uint64_t, TraceRequest> requests
+            EXIST_GUARDED_BY(mu);
+        std::map<std::uint64_t, TraceReport> reports
+            EXIST_GUARDED_BY(mu);
     };
 
     Shard &shardFor(std::uint64_t id) const

@@ -26,7 +26,7 @@ StripedObjectStore::put(const std::string &key,
                         std::vector<std::uint8_t> bytes)
 {
     Stripe &s = stripeFor(key);
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(s.mu);
     s.store.put(key, std::move(bytes));
 }
 
@@ -34,7 +34,7 @@ bool
 StripedObjectStore::exists(const std::string &key) const
 {
     Stripe &s = stripeFor(key);
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(s.mu);
     return s.store.exists(key);
 }
 
@@ -42,7 +42,7 @@ const std::vector<std::uint8_t> &
 StripedObjectStore::get(const std::string &key) const
 {
     Stripe &s = stripeFor(key);
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(s.mu);
     return s.store.get(key);
 }
 
@@ -50,9 +50,10 @@ std::vector<std::string>
 StripedObjectStore::listPrefix(const std::string &prefix) const
 {
     std::vector<std::string> keys;
-    for (const auto &s : stripes_) {
-        std::lock_guard<std::mutex> lk(s->mu);
-        std::vector<std::string> part = s->store.listPrefix(prefix);
+    for (const auto &sp : stripes_) {
+        Stripe &s = *sp;
+        MutexLock lk(s.mu);
+        std::vector<std::string> part = s.store.listPrefix(prefix);
         keys.insert(keys.end(),
                     std::make_move_iterator(part.begin()),
                     std::make_move_iterator(part.end()));
@@ -65,9 +66,10 @@ std::uint64_t
 StripedObjectStore::totalBytes() const
 {
     std::uint64_t total = 0;
-    for (const auto &s : stripes_) {
-        std::lock_guard<std::mutex> lk(s->mu);
-        total += s->store.totalBytes();
+    for (const auto &sp : stripes_) {
+        Stripe &s = *sp;
+        MutexLock lk(s.mu);
+        total += s.store.totalBytes();
     }
     return total;
 }
@@ -76,9 +78,10 @@ std::size_t
 StripedObjectStore::objectCount() const
 {
     std::size_t total = 0;
-    for (const auto &s : stripes_) {
-        std::lock_guard<std::mutex> lk(s->mu);
-        total += s->store.objectCount();
+    for (const auto &sp : stripes_) {
+        Stripe &s = *sp;
+        MutexLock lk(s.mu);
+        total += s.store.objectCount();
     }
     return total;
 }
@@ -115,7 +118,7 @@ void
 StripedOdpsTable::insert(TraceRow row)
 {
     Stripe &s = stripeFor(row.request_id);
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(s.mu);
     s.table.insert(std::move(row));
 }
 
@@ -123,9 +126,10 @@ std::vector<const TraceRow *>
 StripedOdpsTable::queryApp(const std::string &app) const
 {
     std::vector<const TraceRow *> out;
-    for (const auto &s : stripes_) {
-        std::lock_guard<std::mutex> lk(s->mu);
-        std::vector<const TraceRow *> part = s->table.queryApp(app);
+    for (const auto &sp : stripes_) {
+        Stripe &s = *sp;
+        MutexLock lk(s.mu);
+        std::vector<const TraceRow *> part = s.table.queryApp(app);
         out.insert(out.end(), part.begin(), part.end());
     }
     sortRows(out);
@@ -136,7 +140,7 @@ std::vector<const TraceRow *>
 StripedOdpsTable::queryRequest(std::uint64_t request_id) const
 {
     Stripe &s = stripeFor(request_id);
-    std::lock_guard<std::mutex> lk(s.mu);
+    MutexLock lk(s.mu);
     std::vector<const TraceRow *> out = s.table.queryRequest(request_id);
     sortRows(out);
     return out;
@@ -146,9 +150,10 @@ std::size_t
 StripedOdpsTable::rowCount() const
 {
     std::size_t total = 0;
-    for (const auto &s : stripes_) {
-        std::lock_guard<std::mutex> lk(s->mu);
-        total += s->table.rowCount();
+    for (const auto &sp : stripes_) {
+        Stripe &s = *sp;
+        MutexLock lk(s.mu);
+        total += s.table.rowCount();
     }
     return total;
 }

@@ -16,11 +16,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/storage.h"
+#include "util/thread_annotations.h"
 
 namespace exist {
 
@@ -44,8 +44,10 @@ class StripedObjectStore
 
   private:
     struct Stripe {
-        mutable std::mutex mu;
-        ObjectStore store;
+        mutable Mutex mu{lockorder::LockRank::kStore, "oss.stripe"};
+        /** The plain store is not internally synchronized; the stripe
+         *  lock is its only guard. */
+        ObjectStore store EXIST_GUARDED_BY(mu);
     };
     Stripe &stripeFor(const std::string &key) const;
 
@@ -74,8 +76,8 @@ class StripedOdpsTable
 
   private:
     struct Stripe {
-        mutable std::mutex mu;
-        OdpsTable table;
+        mutable Mutex mu{lockorder::LockRank::kStore, "odps.stripe"};
+        OdpsTable table EXIST_GUARDED_BY(mu);
     };
     Stripe &stripeFor(std::uint64_t request_id) const;
     static void sortRows(std::vector<const TraceRow *> &rows);

@@ -25,17 +25,16 @@
 #define EXIST_DECODE_STREAMING_DECODER_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "decode/flow_reconstructor.h"
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace exist {
@@ -59,25 +58,26 @@ class RegionQueue
     explicit RegionQueue(std::size_t capacity);
 
     /** Blocks while full; false (region dropped) once closed. */
-    bool push(TraceRegion region);
+    bool push(TraceRegion region) EXIST_EXCLUDES(mu_);
 
     /** Blocks while empty; false when closed and drained. */
-    bool pop(TraceRegion &out);
+    bool pop(TraceRegion &out) EXIST_EXCLUDES(mu_);
 
     /** Wake producers and consumers; pending regions still drain. */
-    void close();
+    void close() EXIST_EXCLUDES(mu_);
 
     /** Peak queue depth observed (telemetry for tuning capacity). */
-    std::size_t highWater() const;
+    std::size_t highWater() const EXIST_EXCLUDES(mu_);
 
   private:
-    mutable std::mutex mu_;
-    std::condition_variable not_full_;
-    std::condition_variable not_empty_;
-    std::deque<TraceRegion> q_;
-    std::size_t capacity_;
-    std::size_t high_water_ = 0;
-    bool closed_ = false;
+    mutable Mutex mu_{lockorder::LockRank::kDecodeQueue,
+                      "decode.region_queue"};
+    CondVar not_full_;
+    CondVar not_empty_;
+    std::deque<TraceRegion> q_ EXIST_GUARDED_BY(mu_);
+    const std::size_t capacity_;
+    std::size_t high_water_ EXIST_GUARDED_BY(mu_) = 0;
+    bool closed_ EXIST_GUARDED_BY(mu_) = false;
 };
 
 /**
@@ -135,12 +135,17 @@ class StreamingDecoder
   private:
     struct CoreState {
         CoreId core = kInvalidId;
-        FlowStream stream;
-        std::mutex mu;
-        std::uint64_t next_pub_seq = 0;    ///< producer side
-        std::uint64_t next_apply_seq = 0;  ///< consumer side
+        Mutex mu{lockorder::LockRank::kDecodeCore,
+                 "decode.core_state"};
+        /** The resumable per-core reconstruction; consumers advance it
+         *  strictly in seq order, so it is guarded even though regions
+         *  arrive from many workers. */
+        FlowStream stream EXIST_GUARDED_BY(mu);
+        std::uint64_t next_pub_seq EXIST_GUARDED_BY(mu) = 0;
+        std::uint64_t next_apply_seq EXIST_GUARDED_BY(mu) = 0;
         /** Out-of-order arrivals parked until their predecessors. */
-        std::map<std::uint64_t, std::vector<std::uint8_t>> stash;
+        std::map<std::uint64_t, std::vector<std::uint8_t>> stash
+            EXIST_GUARDED_BY(mu);
 
         CoreState(CoreId c, const ProgramBinary *prog,
                   DecodeOptions opts)

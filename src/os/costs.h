@@ -1,6 +1,6 @@
 /**
  * @file
- * The calibrated cost model (DESIGN.md §6). Every tracing-related
+ * The calibrated cost model (DESIGN.md §9). Every tracing-related
  * operation the paper identifies as a source of overhead has an explicit
  * cost constant here; the *structure* — who pays it and how often — is
  * what the simulation reproduces. Constants are order-of-magnitude

@@ -48,7 +48,7 @@ ThreadPool::ThreadPool(int threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lk(idle_mu_);
+        MutexLock lk(idle_mu_);
         stop_.store(true, std::memory_order_relaxed);
     }
     idle_cv_.notify_all();
@@ -69,13 +69,21 @@ ThreadPool::push(Task task)
         q = next_queue_.fetch_add(1, std::memory_order_relaxed) %
             deques_.size();
     }
+    // Count the task before it becomes stealable: a worker that takes
+    // it the instant the deque lock drops must not decrement queued_
+    // below zero (the old post-push increment could transiently wrap
+    // the counter and trip the drained-shutdown assert).
+    queued_.fetch_add(1, std::memory_order_relaxed);
     {
-        std::lock_guard<std::mutex> lk(deques_[q]->mu);
-        deques_[q]->tasks.push_back(std::move(task));
+        WorkerDeque &d = *deques_[q];
+        MutexLock lk(d.mu);
+        d.tasks.push_back(std::move(task));
     }
     {
-        std::lock_guard<std::mutex> lk(idle_mu_);
-        queued_.fetch_add(1, std::memory_order_relaxed);
+        // Empty critical section: pairs with the sleeper's predicate
+        // check under idle_mu_, so the increment above is visible
+        // before notify and no wakeup is lost.
+        MutexLock lk(idle_mu_);
     }
     idle_cv_.notify_one();
 }
@@ -84,7 +92,7 @@ bool
 ThreadPool::popLocal(std::size_t index, Task &out)
 {
     WorkerDeque &d = *deques_[index];
-    std::lock_guard<std::mutex> lk(d.mu);
+    MutexLock lk(d.mu);
     if (d.tasks.empty())
         return false;
     out = std::move(d.tasks.back());
@@ -96,7 +104,7 @@ bool
 ThreadPool::stealFrom(std::size_t victim, Task &out)
 {
     WorkerDeque &d = *deques_[victim];
-    std::lock_guard<std::mutex> lk(d.mu);
+    MutexLock lk(d.mu);
     if (d.tasks.empty())
         return false;
     out = std::move(d.tasks.front());
@@ -139,11 +147,10 @@ ThreadPool::workerLoop(std::size_t index)
         // that worker re-scans after it, so drained shutdown holds.
         if (stop_.load(std::memory_order_relaxed))
             return;
-        std::unique_lock<std::mutex> lk(idle_mu_);
-        idle_cv_.wait(lk, [this]() {
-            return stop_.load(std::memory_order_relaxed) ||
-                   queued_.load(std::memory_order_relaxed) > 0;
-        });
+        MutexLock lk(idle_mu_);
+        while (!stop_.load(std::memory_order_relaxed) &&
+               queued_.load(std::memory_order_relaxed) == 0)
+            idle_cv_.wait(idle_mu_);
     }
 }
 

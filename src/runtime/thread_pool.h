@@ -19,17 +19,17 @@
 #define EXIST_RUNTIME_THREAD_POOL_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace exist {
 
@@ -94,8 +94,8 @@ class ThreadPool
     using Task = std::function<void()>;
 
     struct WorkerDeque {
-        std::mutex mu;
-        std::deque<Task> tasks;
+        Mutex mu{lockorder::LockRank::kPool, "pool.deque"};
+        std::deque<Task> tasks EXIST_GUARDED_BY(mu);
     };
 
     void push(Task task);
@@ -108,10 +108,14 @@ class ThreadPool
     std::vector<std::unique_ptr<WorkerDeque>> deques_;
     std::vector<std::thread> workers_;
 
-    // Queued-task count and stop flag; both are mutated under idle_mu_
-    // before notifying so sleeping workers cannot miss a wakeup.
-    std::mutex idle_mu_;
-    std::condition_variable idle_cv_;
+    // queued_ counts tasks visible in the deques: incremented BEFORE
+    // the task is pushed, decremented after it is taken, so it can
+    // never underflow when a worker races a push. stop_ is flipped
+    // under idle_mu_ before notifying so sleepers cannot miss it; a
+    // producer takes idle_mu_ (even empty) between bumping queued_ and
+    // notifying for the same reason.
+    Mutex idle_mu_{lockorder::LockRank::kPool, "pool.idle"};
+    CondVar idle_cv_;
     std::atomic<std::size_t> queued_{0};
     std::atomic<std::size_t> next_queue_{0};
     std::atomic<bool> stop_{false};

@@ -1,0 +1,172 @@
+#include "util/lock_order.h"
+
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace exist::lockorder {
+
+namespace {
+
+struct Held {
+    const void *mu;
+    int rank;
+    const char *name;
+};
+
+/**
+ * Per-thread stack of held locks, in acquisition order. Deliberately a
+ * trivially-destructible fixed array, NOT a std::vector: hooks also run
+ * after this thread's TLS destructors (e.g. the shared ThreadPool's
+ * static destructor locking its deques at exit), so the stack must have
+ * no destructor to run. Depth is the deepest legal nesting of the lock
+ * hierarchy plus slack; overflow panics rather than truncating.
+ */
+constexpr std::size_t kMaxHeld = 64;
+thread_local Held t_held[kMaxHeld];
+thread_local std::size_t t_held_count = 0;
+
+// Validator-internal state. Deliberately a raw std::mutex: the
+// validator cannot instrument itself, and this lock is a leaf by
+// construction (nothing is acquired while it is held). The handler and
+// edge table are intentionally leaked (never destroyed) because hooks
+// still run from atexit destructors — e.g. the shared ThreadPool
+// locking its deques — after namespace-scope statics would have died.
+// lint-allow: raw-locking
+std::mutex g_mu;
+
+Handler &
+handlerSlot()
+{
+    static Handler *slot = new Handler;
+    return *slot;
+}
+
+/** Observed same-rank acquisition orders (first -> second). */
+std::set<std::pair<const void *, const void *>> &
+edges()
+{
+    static auto *set =
+        new std::set<std::pair<const void *, const void *>>;
+    return *set;
+}
+
+void
+report(Violation::Kind kind, std::string message)
+{
+    Handler handler;
+    {
+        std::lock_guard<std::mutex> lk(g_mu);
+        handler = handlerSlot();
+    }
+    if (handler) {
+        handler(Violation{kind, std::move(message)});
+        return;
+    }
+    EXIST_PANIC("lock-order violation: %s", message.c_str());
+}
+
+std::string
+describe(const void *mu, int rank, const char *name)
+{
+    return detail::format("%s (rank %d, %p)", name, rank, mu);
+}
+
+}  // namespace
+
+Handler
+setViolationHandler(Handler handler)
+{
+    std::lock_guard<std::mutex> lk(g_mu);
+    std::swap(handlerSlot(), handler);
+    return handler;
+}
+
+void
+onAcquire(const void *mu, int rank, const char *name)
+{
+    EXIST_ASSERT(t_held_count < kMaxHeld,
+                 "lock nesting deeper than %zu at %s", kMaxHeld,
+                 describe(mu, rank, name).c_str());
+    for (std::size_t i = 0; i < t_held_count; ++i) {
+        if (t_held[i].mu == mu) {
+            report(Violation::Kind::kRecursive,
+                   detail::format("recursive acquisition of %s",
+                                  describe(mu, rank, name).c_str()));
+            // Still push: the matching onRelease will pop it.
+            break;
+        }
+    }
+    for (std::size_t i = 0; i < t_held_count; ++i) {
+        const Held &h = t_held[i];
+        if (h.mu == mu)
+            continue;
+        if (rank < h.rank) {
+            report(Violation::Kind::kRankInversion,
+                   detail::format(
+                       "acquiring %s while holding higher-ranked %s",
+                       describe(mu, rank, name).c_str(),
+                       describe(h.mu, h.rank, h.name).c_str()));
+            break;
+        }
+        if (rank == h.rank) {
+            // Equal-rank nesting: tolerated, but both orders across
+            // the program's lifetime form a deadlock candidate.
+            bool reverse_seen;
+            {
+                std::lock_guard<std::mutex> lk(g_mu);
+                auto &e = edges();
+                reverse_seen = e.count({mu, h.mu}) != 0;
+                e.insert({h.mu, mu});
+            }
+            if (reverse_seen) {
+                report(Violation::Kind::kSameRankCycle,
+                       detail::format(
+                           "same-rank cycle: %s and %s have been "
+                           "acquired in both nesting orders",
+                           describe(h.mu, h.rank, h.name).c_str(),
+                           describe(mu, rank, name).c_str()));
+                break;
+            }
+        }
+    }
+    t_held[t_held_count++] = Held{mu, rank, name};
+}
+
+void
+onRelease(const void *mu)
+{
+    for (std::size_t i = t_held_count; i > 0; --i) {
+        if (t_held[i - 1].mu == mu) {
+            for (std::size_t j = i - 1; j + 1 < t_held_count; ++j)
+                t_held[j] = t_held[j + 1];
+            --t_held_count;
+            return;
+        }
+    }
+    // A lock acquired before the validator was engaged (or on another
+    // thread, for hand-off schemes) — nothing to pop.
+}
+
+std::size_t
+heldCount()
+{
+    return t_held_count;
+}
+
+void
+resetThread()
+{
+    t_held_count = 0;
+}
+
+void
+forgetEdges()
+{
+    std::lock_guard<std::mutex> lk(g_mu);
+    edges().clear();
+}
+
+}  // namespace exist::lockorder

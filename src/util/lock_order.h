@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Debug lock-order validation: deadlock detection that TSan cannot
+ * provide. Every annotated `exist::Mutex` (util/thread_annotations.h)
+ * carries a rank in the repo-wide lock hierarchy; at acquire time a
+ * thread-local held-lock stack checks that ranks only ever ascend.
+ * Two lock acquisitions that different threads perform in opposite
+ * orders deadlock only under the losing interleaving — the validator
+ * flags the *ordering rule* violation on whichever interleaving the
+ * test happens to run, so one single-threaded pass through the code
+ * path is enough to catch it.
+ *
+ * Checks performed on each acquire:
+ *  - recursive acquisition of the same (non-recursive) mutex;
+ *  - rank inversion: acquiring a mutex ranked below one already held;
+ *  - same-rank cycles: equal-rank nesting is tolerated (e.g. two leaf
+ *    caches), but the (A, B) acquisition order is recorded in a global
+ *    edge table and the reverse order (B, A) — a deadlock candidate —
+ *    is reported.
+ *
+ * The validator itself is always compiled (so its unit tests run in
+ * every build); the *hooks* in exist::Mutex are compiled in only under
+ * EXIST_DEBUG_LOCK_ORDER, keeping release mutexes byte-identical to
+ * std::mutex.
+ *
+ * The lock hierarchy (acquire downward only — see DESIGN.md §8):
+ *   pool < decode queue < decode core < commit log < shard < store
+ *        < metrics < leaf
+ */
+#ifndef EXIST_UTIL_LOCK_ORDER_H
+#define EXIST_UTIL_LOCK_ORDER_H
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace exist::lockorder {
+
+/**
+ * Ranks of the repo's lock sites. Gaps leave room for new subsystems;
+ * what matters is the relative order, which mirrors the nesting the
+ * code actually performs (a CommitLog commit action acquires the
+ * owning shard's state lock; everything else nests forward into
+ * stores/metrics or not at all).
+ */
+enum class LockRank : int {
+    kPool = 0,         ///< runtime/thread_pool deque + idle locks
+    kDecodeQueue = 10, ///< streaming decode RegionQueue
+    kDecodeCore = 20,  ///< streaming decode per-core stream state
+    kCommitLog = 30,   ///< cluster/shard sequenced commit log
+    kShard = 40,       ///< ShardedMaster per-shard API-server state
+    kStore = 50,       ///< striped OSS/ODPS stripe locks
+    kMetrics = 60,     ///< metrics registry stripe locks
+    kLeaf = 100,       ///< caches etc. held across no other acquire
+};
+
+/** One detected ordering violation. */
+struct Violation {
+    enum class Kind {
+        kRecursive,     ///< same mutex acquired twice by one thread
+        kRankInversion, ///< rank below an already-held rank
+        kSameRankCycle, ///< equal ranks nested in both orders
+    };
+    Kind kind;
+    std::string message;
+};
+
+/**
+ * Install a violation handler (tests install a recorder); returns the
+ * previous handler. With no handler installed a violation is a panic —
+ * the build is a debug build, loudness is the point.
+ */
+using Handler = std::function<void(const Violation &)>;
+Handler setViolationHandler(Handler handler);
+
+/** Record an acquire of `mu` (called BEFORE blocking on it, so an
+ *  about-to-deadlock acquire is reported, not deadlocked on). */
+void onAcquire(const void *mu, int rank, const char *name);
+
+/** Record a release. Out-of-order release (hand-over-hand) is legal. */
+void onRelease(const void *mu);
+
+/** Locks the calling thread currently holds (test introspection). */
+std::size_t heldCount();
+
+/** Drop this thread's held stack (test isolation helper). */
+void resetThread();
+
+/** Forget all recorded same-rank edges (test isolation helper). */
+void forgetEdges();
+
+}  // namespace exist::lockorder
+
+#endif  // EXIST_UTIL_LOCK_ORDER_H

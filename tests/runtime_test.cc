@@ -173,6 +173,33 @@ TEST(ThreadPool, NestedParallelForFromWorkerDoesNotDeadlock)
     EXPECT_EQ(total.load(), 32);
 }
 
+TEST(ThreadPool, ExternalSubmittersRaceWorkersWithoutCounterWrap)
+{
+    // Regression: push() used to increment the pending-task counter
+    // *after* publishing the task, so a fast worker could pop and
+    // decrement first, transiently wrapping the counter past zero and
+    // tripping the drained-shutdown assert. Hammer the push/pop race
+    // from several external threads against a small pool; every task
+    // must run and the pool must still shut down drained.
+    constexpr int kSubmitters = 4;
+    constexpr int kPerSubmitter = 500;
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        std::vector<std::thread> submitters;
+        submitters.reserve(kSubmitters);
+        for (int s = 0; s < kSubmitters; ++s)
+            submitters.emplace_back([&]() {
+                for (int i = 0; i < kPerSubmitter; ++i)
+                    pool.submit([&]() { ran.fetch_add(1); });
+            });
+        for (auto &t : submitters)
+            t.join();
+        // Destructor drains whatever is still queued.
+    }
+    EXPECT_EQ(ran.load(), kSubmitters * kPerSubmitter);
+}
+
 TEST(ThreadPool, ManySmallTasksComplete)
 {
     ThreadPool pool(4);

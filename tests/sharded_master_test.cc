@@ -298,6 +298,59 @@ TEST(ShardedMasterStress, ConcurrentSubmitsThenReconcile)
               kTotal);
 }
 
+TEST(ShardedMasterStress, PhaseReadersDuringReconcile)
+{
+    // Regression: request phases used to be written outside shard.mu
+    // (by planRequest and by the commit action draining on another
+    // shard's thread), so concurrent phase reads were racy. phaseOf()
+    // now reads under the shard lock and every transition is applied
+    // under it; readers polling throughout a reconcile must observe
+    // only forward progress (TSan checks the rest).
+    ClusterConfig cc;
+    cc.num_nodes = 2;
+    cc.cores_per_node = 2;
+    cc.seed = 13;
+    Cluster cluster(cc);
+    cluster.deploy("Cache", 2);
+
+    metrics::Registry registry;
+    ShardedMaster master(&cluster, {}, 4, 2, &registry);
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 6; ++i)
+        ids.push_back(master.apply(
+            "app=Cache anomaly=true period_ms=20 budget_mb=32"));
+
+    std::atomic<bool> done{false};
+    std::atomic<int> regressions{0};
+    std::vector<std::thread> readers;
+    readers.reserve(2);
+    for (int r = 0; r < 2; ++r)
+        readers.emplace_back([&]() {
+            std::vector<RequestPhase> last(ids.size(),
+                                           RequestPhase::kPending);
+            while (!done.load(std::memory_order_acquire)) {
+                for (std::size_t i = 0; i < ids.size(); ++i) {
+                    RequestPhase p = master.phaseOf(ids[i]);
+                    // Pending -> Running -> Completed, never backward.
+                    if (static_cast<int>(p) < static_cast<int>(last[i]))
+                        regressions.fetch_add(1);
+                    last[i] = p;
+                }
+            }
+        });
+
+    master.reconcile();
+    done.store(true, std::memory_order_release);
+    for (std::thread &t : readers)
+        t.join();
+
+    EXPECT_EQ(regressions.load(), 0);
+    for (std::uint64_t id : ids) {
+        EXPECT_EQ(master.phaseOf(id), RequestPhase::kCompleted);
+        EXPECT_NE(master.report(id), nullptr);
+    }
+}
+
 TEST(ShardedMasterStress, MetricsRegistryHammer)
 {
     // TSan target: the lock-striped registry under concurrent lookup

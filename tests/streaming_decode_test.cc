@@ -238,6 +238,67 @@ TEST(StreamingDecoder, MatchesParallelDecoderAcrossThreadsAndChunks)
     }
 }
 
+TEST(StreamingDecoder, ConcurrentPerCorePublishersWithStatsPoller)
+{
+    // Regression: inline publishing and finish() used to touch the
+    // per-core FlowStream/stash without core_state.mu, so concurrent
+    // publishers racing a stats poller were unsynchronized. Each core
+    // now appends and finishes under its own lock; this TSan target
+    // publishes every core from its own thread while a poller reads
+    // stats(), then requires the batch decode byte-for-byte.
+    ExperimentResult r = Testbed::run(sessionSpec());
+    ASSERT_GT(r.raw_traces.size(), 1u);
+
+    auto binary = Testbed::binaryForApp("mc");
+    DecodeOptions opts;
+    opts.record_path = true;
+    ParallelDecoder batch(binary.get(), opts, 0);
+    auto baseline = batch.decodeAll(r.raw_traces);
+
+    for (int threads : {1, 2}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        StreamingDecoder sd(binary.get(), opts, threads,
+                            /*queue_capacity=*/4);
+        for (const CollectedTrace &ct : r.raw_traces)
+            sd.addCore(ct.core);
+
+        std::atomic<bool> done{false};
+        std::thread poller([&]() {
+            std::uint64_t last = 0;
+            while (!done.load(std::memory_order_acquire)) {
+                StreamingDecoder::Stats st = sd.stats();
+                EXPECT_GE(st.bytes_published, last);
+                last = st.bytes_published;
+                std::this_thread::yield();
+            }
+        });
+
+        std::vector<std::thread> publishers;
+        publishers.reserve(r.raw_traces.size());
+        for (const CollectedTrace &ct : r.raw_traces)
+            publishers.emplace_back([&sd, &ct]() {
+                std::size_t off = 0;
+                for (std::size_t sz :
+                     randomChunks(ct.bytes.size(), 21, 8192)) {
+                    sd.publish(ct.core, ct.bytes.data() + off, sz);
+                    off += sz;
+                }
+            });
+        for (std::thread &t : publishers)
+            t.join();
+        done.store(true, std::memory_order_release);
+        poller.join();
+
+        auto decoded = sd.finish();
+        ASSERT_EQ(decoded.size(), baseline.size());
+        for (std::size_t i = 0; i < decoded.size(); ++i) {
+            SCOPED_TRACE("buffer " + std::to_string(i));
+            EXPECT_EQ(decoded[i].first, baseline[i].first);
+            expectSameDecode(decoded[i].second, baseline[i].second);
+        }
+    }
+}
+
 TEST(StreamingDecoder, ThreadModesResolve)
 {
     auto binary = Testbed::binaryForApp("mc");

@@ -16,8 +16,9 @@ Usage:
                           [--out BENCH_decode.json] [--scale 0.25]
 
 Only the standard library is used. Exit status is non-zero if a bench
-binary is missing, fails, emits no JSON lines, or any configuration
-diverged from its serial reference.
+binary is missing, fails, emits no JSON lines or a malformed one, the
+aggregate cannot be written, or any configuration diverged from its
+serial reference.
 """
 
 import argparse
@@ -32,6 +33,10 @@ BENCH_SETS = {
 }
 
 
+class BenchOutputError(Exception):
+    """A bench emitted a JSON line this driver cannot parse."""
+
+
 def run_bench(path, scale):
     env = dict(os.environ)
     if scale is not None:
@@ -40,9 +45,21 @@ def run_bench(path, scale):
         [path], env=env, stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT, text=True)
     lines = []
-    for line in proc.stdout.splitlines():
-        if line.startswith("JSON "):
-            lines.append(json.loads(line[len("JSON "):]))
+    for lineno, line in enumerate(proc.stdout.splitlines(), start=1):
+        if not line.startswith("JSON "):
+            continue
+        payload = line[len("JSON "):]
+        try:
+            record = json.loads(payload)
+        except json.JSONDecodeError as e:
+            raise BenchOutputError(
+                f"{os.path.basename(path)}: malformed JSON on output "
+                f"line {lineno}: {e}\n  {payload!r}") from e
+        if not isinstance(record, dict):
+            raise BenchOutputError(
+                f"{os.path.basename(path)}: JSON line {lineno} is a "
+                f"{type(record).__name__}, expected an object")
+        lines.append(record)
     return proc.returncode, lines, proc.stdout
 
 
@@ -111,7 +128,11 @@ def main():
                   f"(build the project first)", file=sys.stderr)
             return 1
         print(f"running {name} ...", flush=True)
-        rc, lines, output = run_bench(path, args.scale)
+        try:
+            rc, lines, output = run_bench(path, args.scale)
+        except BenchOutputError as e:
+            print(f"bench output error: {e}", file=sys.stderr)
+            return 1
         if rc != 0:
             sys.stderr.write(output)
             print(f"{name} failed with exit {rc}", file=sys.stderr)
@@ -128,9 +149,13 @@ def main():
         "records": records,
         "summary": summarize(records),
     }
-    with open(out_path, "w") as f:
-        json.dump(doc, f, indent=2)
-        f.write("\n")
+    try:
+        with open(out_path, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+    except OSError as e:
+        print(f"cannot write {out_path}: {e}", file=sys.stderr)
+        return 1
     print(f"wrote {out_path}: {len(records)} records")
     for bench, s in doc["summary"].items():
         print(f"  {bench}: {s}")
