@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "baselines/backend.h"
+#include "net/fabric.h"
 #include "os/kernel.h"
 #include "util/stats.h"
 #include "util/types.h"
@@ -69,6 +70,15 @@ struct ExperimentSpec {
     bool streaming = false;
     /** Streaming region granularity in real KB (0 = 256 KB). */
     std::uint64_t stream_region_kb = 0;
+    /**
+     * Collection-plane transport (ISSUE 6): when enabled, the session
+     * result's collection-borne fields travel node agent -> master
+     * ingest over the simulated fabric instead of being handed over
+     * in-process. Testbed::run itself ignores this — transport is
+     * applied by the cluster layer (cluster/collection.h) after the
+     * session finishes, so analysis stays independent of the cluster.
+     */
+    net::NetSpec net;
     std::uint64_t seed = 1;
 };
 

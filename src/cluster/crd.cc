@@ -33,6 +33,16 @@ TraceRequest::parse(const std::string &manifest)
             req.core_sample_ratio = std::stod(value);
         } else if (key == "streaming") {
             req.streaming = value == "true" || value == "1";
+        } else if (key == "net") {
+            req.net = value == "true" || value == "1";
+        } else if (key == "loss") {
+            req.net_loss = std::stod(value);
+        } else if (key == "reorder") {
+            req.net_reorder = std::stod(value);
+        } else if (key == "duplicate") {
+            req.net_duplicate = std::stod(value);
+        } else if (key == "link_latency_us") {
+            req.net_link_latency_us = std::stod(value);
         } else {
             EXIST_FATAL("unknown manifest key '%s'", key.c_str());
         }
@@ -58,7 +68,30 @@ TraceRequest::toManifest() const
         out << " core_sample_ratio=" << core_sample_ratio;
     if (streaming)
         out << " streaming=true";
+    if (net) {
+        out << " net=true";
+        if (net_loss > 0)
+            out << " loss=" << net_loss;
+        if (net_reorder > 0)
+            out << " reorder=" << net_reorder;
+        if (net_duplicate > 0)
+            out << " duplicate=" << net_duplicate;
+        if (net_link_latency_us != 50.0)
+            out << " link_latency_us=" << net_link_latency_us;
+    }
     return out.str();
+}
+
+net::NetSpec
+TraceRequest::netSpec() const
+{
+    net::NetSpec spec;
+    spec.enabled = net;
+    spec.drop_rate = net_loss;
+    spec.reorder_rate = net_reorder;
+    spec.duplicate_rate = net_duplicate;
+    spec.link_latency_us = net_link_latency_us;
+    return spec;
 }
 
 }  // namespace exist

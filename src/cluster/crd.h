@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "net/fabric.h"
 #include "util/types.h"
 
 namespace exist {
@@ -54,7 +55,19 @@ struct TraceRequest {
      *  (batch fallback) when combined with ring=true. */
     bool streaming = false;
 
+    /** Collection plane (ISSUE 6): ship session results node -> master
+     *  over the simulated fabric instead of in-process. The knobs below
+     *  only apply when net=true. */
+    bool net = false;
+    double net_loss = 0.0;       ///< per-frame drop probability
+    double net_reorder = 0.0;    ///< per-frame reorder probability
+    double net_duplicate = 0.0;  ///< per-frame duplicate probability
+    double net_link_latency_us = 50.0;
+
     RequestPhase phase = RequestPhase::kPending;
+
+    /** The fabric configuration this request asks for. */
+    net::NetSpec netSpec() const;
 
     /**
      * Parse a manifest of "key=value" pairs separated by whitespace or

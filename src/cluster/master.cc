@@ -1,6 +1,8 @@
 #include "cluster/master.h"
 
 #include "analysis/testbed.h"
+#include "cluster/collection.h"
+#include "cluster/metrics.h"
 #include "cluster/shard/plan.h"
 #include "runtime/thread_pool.h"
 #include "util/logging.h"
@@ -111,6 +113,15 @@ Master::reconcile()
         ThreadPool::shared().parallelFor(0, jobs.size(), runJob);
     }
     sessions_run_ += jobs.size();
+
+    // Phase 2b — collection plane (when the request asked for net):
+    // session results travel node agent -> master ingest over the
+    // request's private simulated fabric before they are published.
+    // Seeded per request, so the serial and sharded masters see the
+    // same fault pattern and publish byte-identical reports.
+    for (RequestPlan &plan : plans)
+        collectPlan(plan, cluster_->config().seed,
+                    &metrics::Registry::global());
 
     // Phase 3 — publish serially in request-id order: OSS uploads,
     // ODPS rows, coverage accounting and report assembly see session

@@ -74,6 +74,7 @@ planRequest(Cluster *cluster,
         // pool instead (sharing would let a backpressured producer
         // deadlock against parked consumers).
         spec.streaming = req.streaming;
+        spec.net = req.netSpec();
         if (req.streaming)
             spec.decode_threads = threads == 1 ? 1 : 2;
         else

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "analysis/testbed.h"
+#include "cluster/collection.h"
 #include "runtime/thread_pool.h"
 #include "util/logging.h"
 
@@ -206,6 +207,13 @@ ShardedMaster::reconcileShard(std::size_t index,
         sessions_run_.fetch_add(plan.sessions.size(),
                                 std::memory_order_relaxed);
         shard_sessions.add(plan.sessions.size());
+
+        // Collection plane (net=true requests): ship session results
+        // over the request's private fabric before publishing. The
+        // fabric is seeded by (cluster seed, request id), so the fault
+        // pattern — hence the published report — is independent of
+        // shard count, thread count and reconcile interleaving.
+        collectPlan(plan, cluster_->config().seed, metrics_);
 
         // Bulk data path goes to the striped stores concurrently;
         // only the small sequenced tail rides the commit log.

@@ -10,6 +10,7 @@ run-over-run.
 Sets:
     decode   decode_throughput + decode_latency  -> BENCH_decode.json
     cluster  reconcile_throughput                -> BENCH_cluster.json
+    net      collect_throughput                  -> BENCH_net.json
 
 Usage:
     tools/bench_trends.py [--set decode] [--build-dir build]
@@ -30,6 +31,7 @@ import sys
 BENCH_SETS = {
     "decode": ["decode_throughput", "decode_latency"],
     "cluster": ["reconcile_throughput"],
+    "net": ["collect_throughput"],
 }
 
 
@@ -99,6 +101,19 @@ def summarize(records):
             "best_speedup_vs_serial": best.get("speedup"),
             "p99_latency_us_at_best": best.get("p99_latency_us"),
             "all_identical": all(r.get("identical") for r in rec),
+        }
+    col = [r for r in records
+           if r.get("bench") == "collect_throughput"]
+    if col:
+        worst = max(col, key=lambda r: r.get("loss", 0.0))
+        summary["collect_throughput"] = {
+            "transfers_per_sec_at_worst_loss":
+                worst.get("transfers_per_sec"),
+            "worst_loss": worst.get("loss"),
+            "goodput_at_worst_loss": worst.get("goodput"),
+            "retransmits_at_worst_loss": worst.get("retransmits"),
+            "degraded_total": sum(r.get("degraded", 0) for r in col),
+            "all_identical": all(r.get("identical") for r in col),
         }
     return summary
 

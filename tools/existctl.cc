@@ -10,6 +10,8 @@
  *                        [--backend EXIST|StaSam|eBPF|NHT]
  *                        [--cores N] [--clients N] [--report]
  *                        [--threads N] [--streaming] [--shards N]
+ *                        [--net] [--loss R] [--reorder R]
+ *                        [--duplicate R] [--link-latency-us N]
  *       Run one node-level tracing session against a synthetic
  *       deployment of <app> and print the session statistics; with
  *       --report, also synthesize the human-readable behaviour report.
@@ -19,6 +21,12 @@
  *       --shards N switches to the sharded control plane: a demo
  *       cluster deploys <app>, a stream of anomaly requests reconciles
  *       across N API-server shards, and the merged reports print.
+ *       --net routes the session result through the collection plane
+ *       (node trace agent -> master ingest over the simulated fabric,
+ *       cluster/collection.h) at the given loss/reorder/duplicate
+ *       rates and link latency. The printed results are byte-identical
+ *       to the in-process hand-off whenever the transfer completes
+ *       within the retry budget; transport telemetry goes to stderr.
  *
  *   existctl cluster <manifest>... [--threads N]
  *       Stand up a demo ten-node cluster with the cloud applications
@@ -46,6 +54,7 @@
 #include "analysis/behavior_report.h"
 #include "analysis/report.h"
 #include "analysis/testbed.h"
+#include "cluster/collection.h"
 #include "cluster/master.h"
 #include "cluster/metrics.h"
 #include "cluster/shard/sharded_master.h"
@@ -65,7 +74,9 @@ usage()
         "       existctl trace <app> [--period-ms N] [--budget-mb N]\n"
         "                      [--backend NAME] [--cores N]\n"
         "                      [--clients N] [--report] [--threads N]\n"
-        "                      [--streaming] [--shards N]\n"
+        "                      [--streaming] [--shards N] [--net]\n"
+        "                      [--loss R] [--reorder R]\n"
+        "                      [--duplicate R] [--link-latency-us N]\n"
         "       existctl cluster <manifest>... [--threads N]\n"
         "       existctl metrics [<manifest>...] [--shards N]\n"
         "                      [--threads N]\n",
@@ -112,11 +123,30 @@ printReports(MasterT &master, const std::vector<std::uint64_t> &ids)
                 master.oss().objectCount(), master.odps().rowCount());
 }
 
+/** Render the collection-plane knobs as manifest keys. */
+std::string
+netManifest(const net::NetSpec &net)
+{
+    if (!net.enabled)
+        return "";
+    std::string m = " net=true";
+    if (net.drop_rate > 0)
+        m += " loss=" + std::to_string(net.drop_rate);
+    if (net.reorder_rate > 0)
+        m += " reorder=" + std::to_string(net.reorder_rate);
+    if (net.duplicate_rate > 0)
+        m += " duplicate=" + std::to_string(net.duplicate_rate);
+    if (net.link_latency_us != 50.0)
+        m += " link_latency_us=" + std::to_string(net.link_latency_us);
+    return m;
+}
+
 /** `trace --shards N`: the same request, reconciled by the sharded
  *  control plane on a demo cluster deploying the app. */
 int
 traceSharded(const std::string &app, double period_ms,
-             std::uint64_t budget_mb, int shards, int threads)
+             std::uint64_t budget_mb, int shards, int threads,
+             const net::NetSpec &net)
 {
     ClusterConfig cc;
     cc.num_nodes = 6;
@@ -128,7 +158,7 @@ traceSharded(const std::string &app, double period_ms,
     std::string manifest =
         "app=" + app + " anomaly=true period_ms=" +
         std::to_string(static_cast<long long>(period_ms)) +
-        " budget_mb=" + std::to_string(budget_mb);
+        " budget_mb=" + std::to_string(budget_mb) + netManifest(net);
     // The shard count goes to stderr with the other telemetry so
     // stdout is byte-comparable across shard counts.
     std::fprintf(stderr,
@@ -175,6 +205,7 @@ cmdTrace(int argc, char **argv)
     bool streaming = false;
     int threads = 0;  // 0 = default pool (hardware concurrency)
     int shards = 0;   // 0 = single-node session (no control plane)
+    net::NetSpec net;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -203,12 +234,22 @@ cmdTrace(int argc, char **argv)
             threads = std::atoi(next());
         else if (arg == "--shards")
             shards = std::atoi(next());
+        else if (arg == "--net")
+            net.enabled = true;
+        else if (arg == "--loss")
+            net.drop_rate = std::atof(next());
+        else if (arg == "--reorder")
+            net.reorder_rate = std::atof(next());
+        else if (arg == "--duplicate")
+            net.duplicate_rate = std::atof(next());
+        else if (arg == "--link-latency-us")
+            net.link_latency_us = std::atof(next());
         else
             return usage();
     }
     if (shards > 0)
         return traceSharded(app, period_ms, budget_mb, shards,
-                            threads);
+                            threads, net);
 
     AppProfile profile = AppCatalog::find(app);
     ExperimentSpec spec;
@@ -231,6 +272,25 @@ cmdTrace(int argc, char **argv)
                 app.c_str(), backend.c_str(), period_ms, cores,
                 (unsigned long long)budget_mb);
     ExperimentResult r = Testbed::run(spec);
+    if (net.enabled) {
+        // Route the result through the collection plane. stdout stays
+        // byte-comparable with the in-process run (the ctest pins it);
+        // the transport telemetry goes to stderr.
+        CollectionOutcome co = collectSessionResult(
+            r, net, collectSeed(spec.seed, 0), app,
+            &metrics::Registry::global());
+        std::fprintf(stderr,
+                     "collection plane: %llu batches (+%llu "
+                     "retransmits), %llu acks, %llu dropped frames, "
+                     "%.1f KB on wire, %s\n",
+                     (unsigned long long)co.agents.batches_sent,
+                     (unsigned long long)co.agents.retransmits,
+                     (unsigned long long)co.ingest.acks_sent,
+                     (unsigned long long)co.fabric.frames_dropped,
+                     co.fabric.bytes_on_wire / 1024.0,
+                     co.degraded != 0 ? "DEGRADED (summary only)"
+                                      : "payload intact");
+    }
     const AppResult &a = r.at(app);
 
     TableWriter table({"Metric", "Value"});
