@@ -8,6 +8,12 @@
  * cost is real). Verifies on every configuration that the parallel
  * result is bit-identical to the serial baseline.
  *
+ * A second section compares the repetition-aware decode fast path
+ * (per-binary BlockCache + TNT-run memoization, DESIGN.md §11) against
+ * the legacy cache-off reference on the same buffers, plus a
+ * loop-heavy compute profile where repetition dominates. The fast path
+ * must be bit-identical to the reference; the benchmark fails if not.
+ *
  * Besides the human-readable table, each configuration emits one
  * machine-readable JSON line (prefix "JSON ") so CI can track the
  * trajectory:
@@ -104,7 +110,10 @@ main()
         total_segments += dt.segments.size();
 
     // Repeat each timed configuration until it accumulates enough wall
-    // time for a stable rate.
+    // time, and report the fastest repetition: decode does identical
+    // work every rep, so the minimum is the measurement least polluted
+    // by scheduler and container noise (means drift with whatever else
+    // the host is doing).
     const double kMinSeconds = 0.25;
     const int kMinReps = 3;
     auto timeDecode = [&](const std::function<void()> &fn) {
@@ -112,12 +121,47 @@ main()
         int reps = 0;
         auto t0 = std::chrono::steady_clock::now();
         double elapsed = 0.0;
+        double best = 0.0;
         while (reps < kMinReps || elapsed < kMinSeconds) {
+            double rep0 = secondsSince(t0);
             fn();
             ++reps;
             elapsed = secondsSince(t0);
+            double rep = elapsed - rep0;
+            if (best == 0.0 || rep < best)
+                best = rep;
         }
-        return elapsed / reps;
+        return best;
+    };
+
+    // The cache on/off comparison interleaves its repetitions (off,
+    // on, off, on, ...) inside one window and takes each side's
+    // minimum: a load spike then lands on both sides instead of on
+    // whichever loop happened to be running, which is what keeps the
+    // reported ratio stable on a busy host.
+    auto timePair = [&](const std::function<void()> &off,
+                        const std::function<void()> &on) {
+        off();
+        on();  // warm caches
+        int reps = 0;
+        auto t0 = std::chrono::steady_clock::now();
+        double elapsed = 0.0;
+        double best_off = 0.0, best_on = 0.0;
+        while (reps < kMinReps || elapsed < 4 * kMinSeconds) {
+            double a = secondsSince(t0);
+            off();
+            double b = secondsSince(t0);
+            on();
+            elapsed = secondsSince(t0);
+            ++reps;
+            double off_rep = b - a;
+            double on_rep = elapsed - b;
+            if (best_off == 0.0 || off_rep < best_off)
+                best_off = off_rep;
+            if (best_on == 0.0 || on_rep < best_on)
+                best_on = on_rep;
+        }
+        return std::make_pair(best_off, best_on);
     };
 
     double serial_s = timeDecode([&]() {
@@ -177,5 +221,134 @@ main()
     std::printf("\nhardware threads available: %u (speedup saturates "
                 "at min(buffers, hardware threads))\n",
                 std::thread::hardware_concurrency());
+
+    // ------------------------------------------------------------------
+    // Decode fast path: cache-off reference vs BlockCache + TNT memo.
+    // Run on the service traces from above, on a branchy compute
+    // profile (648.exchange2_s: recursive kernels, w_cond 0.66 but
+    // return-heavy, so TIPs bound the memo runs), and on the loop-heavy
+    // stencil profile (619.lbm_s stand-in: long strongly-biased TNT
+    // stretches) where TNT-run repetition dominates the stream.
+    // ------------------------------------------------------------------
+    std::printf("\nDecode fast path: cache-off reference vs "
+                "BlockCache + TNT-run memo\n\n");
+
+    // The compute profiles trace in the control-flow-only configuration
+    // (no CYC packets): that is how a decode-throughput deployment runs
+    // them — per-function attribution needs no intra-segment
+    // timestamps, and CYC would otherwise be roughly half the trace
+    // bytes on these branch-dense kernels, diluting the decode work
+    // being measured with timing-packet parsing.
+    ExperimentSpec exspec = computeSpec("ex", "EXIST", 0.4, 4);
+    WorkloadSpec &exw = exspec.workloads.front();
+    exw.workers = 4;
+    exspec.keep_traces = true;
+    exspec.session.cyc_timing = false;
+    ExperimentResult rex = Testbed::run(exspec);
+    auto ex_binary = Testbed::binaryForApp("ex");
+
+    ExperimentSpec lbmspec = computeSpec("lbm", "EXIST", 0.4, 4);
+    WorkloadSpec &lbmw = lbmspec.workloads.front();
+    lbmw.workers = 4;
+    lbmspec.keep_traces = true;
+    lbmspec.session.cyc_timing = false;
+    ExperimentResult rlbm = Testbed::run(lbmspec);
+    auto lbm_binary = Testbed::binaryForApp("lbm");
+
+    TableWriter cache_table({"App", "Cache", "Time(ms)", "Segments/s",
+                             "MB/s", "Speedup", "Hit%", "Identical"});
+    bool cache_identical = true;
+
+    auto cacheCompare = [&](const char *app,
+                            const std::vector<CollectedTrace> &traces,
+                            const ProgramBinary *bin) {
+        DecodeOptions off_opts;
+        off_opts.block_cache = false;
+        off_opts.tnt_memo_bits = 0;
+        FlowReconstructor off_rec(bin, off_opts);
+        FlowReconstructor on_rec(bin);  // defaults: cache + memo on
+
+        std::uint64_t bytes = 0, segments = 0;
+        std::uint64_t branches = 0, tnt_bits = 0, tips = 0;
+        std::vector<DecodedTrace> ref;
+        for (const CollectedTrace &ct : traces) {
+            bytes += ct.bytes.size();
+            ref.push_back(off_rec.decode(ct.bytes));
+            segments += ref.back().segments.size();
+            branches += ref.back().branches_decoded;
+            tnt_bits += ref.back().tnt_bits_consumed;
+            tips += ref.back().tips_consumed;
+        }
+        bool identical = true;
+        std::uint64_t hits = 0, misses = 0;
+        for (std::size_t i = 0; i < traces.size(); ++i) {
+            DecodedTrace dt = on_rec.decode(traces[i].bytes);
+            identical = identical && sameDecode(dt, ref[i]);
+            hits += dt.cache_stats.memo_hits;
+            misses += dt.cache_stats.memo_misses;
+        }
+        double hit_pct = hits + misses > 0
+                             ? 100.0 * static_cast<double>(hits) /
+                                   static_cast<double>(hits + misses)
+                             : 0.0;
+
+        auto [off_s, on_s] = timePair(
+            [&]() {
+                for (const CollectedTrace &ct : traces)
+                    off_rec.decode(ct.bytes);
+            },
+            [&]() {
+                for (const CollectedTrace &ct : traces)
+                    on_rec.decode(ct.bytes);
+            });
+        double speedup = on_s > 0 ? off_s / on_s : 0.0;
+
+        cache_table.row({app, "off", TableWriter::num(off_s * 1e3),
+                         TableWriter::num(segments / off_s, 0),
+                         TableWriter::num(bytes / off_s / 1048576.0),
+                         "1.00", "-", "ref"});
+        cache_table.row({app, "on", TableWriter::num(on_s * 1e3),
+                         TableWriter::num(segments / on_s, 0),
+                         TableWriter::num(bytes / on_s / 1048576.0),
+                         TableWriter::num(speedup),
+                         TableWriter::num(hit_pct, 1),
+                         identical ? "yes" : "NO"});
+        std::printf("JSON {\"bench\":\"decode_throughput\","
+                    "\"mode\":\"cache\",\"app\":\"%s\",\"threads\":1,"
+                    "\"buffers\":%zu,\"bytes\":%llu,\"segments\":%llu,"
+                    "\"branches\":%llu,\"tnt_bits\":%llu,\"tips\":%llu,"
+                    "\"cache_off_seconds\":%.6f,"
+                    "\"cache_on_seconds\":%.6f,"
+                    "\"segments_per_sec\":%.1f,\"speedup\":%.3f,"
+                    "\"memo_hit_pct\":%.1f,\"identical\":%s}\n",
+                    app, traces.size(), (unsigned long long)bytes,
+                    (unsigned long long)segments,
+                    (unsigned long long)branches,
+                    (unsigned long long)tnt_bits,
+                    (unsigned long long)tips, off_s, on_s,
+                    segments / on_s, speedup, hit_pct,
+                    identical ? "true" : "false");
+        cache_identical = cache_identical && identical;
+    };
+
+    cacheCompare("Search1", r.raw_traces, binary.get());
+    if (!rex.raw_traces.empty())
+        cacheCompare("ex", rex.raw_traces, ex_binary.get());
+    else
+        std::fputs("warning: branchy session collected no buffers\n",
+                   stderr);
+    if (!rlbm.raw_traces.empty())
+        cacheCompare("lbm", rlbm.raw_traces, lbm_binary.get());
+    else
+        std::fputs("warning: loop-heavy session collected no buffers\n",
+                   stderr);
+
+    std::printf("\n");
+    cache_table.print();
+    if (!cache_identical) {
+        std::fputs("cached decode diverged from cache-off reference!\n",
+                   stderr);
+        return 1;
+    }
     return 0;
 }

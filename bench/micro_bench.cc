@@ -93,27 +93,40 @@ BM_FullTracerPath(benchmark::State &state)
 }
 BENCHMARK(BM_FullTracerPath);
 
-void
-BM_DecodeRoundtrip(benchmark::State &state)
+/** Encode a fixed-length trace of @p prog; returns branch count. */
+std::uint64_t
+encodeTrace(const ProgramBinary &prog, std::uint64_t seed,
+            CoreTracer &tracer)
 {
-    // Pre-encode a trace, then measure decode throughput.
-    CoreTracer tracer(0);
     TracerConfig cfg;
     cfg.topa = {TopaEntry{64ull << 20, true, false}};
     tracer.configure(cfg);
-    ExecutionContext exec(&testProgram(), 11);
-    tracer.enable(0, 0, testProgram().block(exec.currentBlock()).address);
+    ExecutionContext exec(&prog, seed);
+    tracer.enable(0, 0, prog.block(exec.currentBlock()).address);
     Cycles now = 0;
     std::uint64_t branches = 0;
     for (int i = 0; i < 200000; ++i) {
         StepResult s = exec.step();
         now += s.insns;
-        tracer.onBranch(s.branch, testProgram(), now, 0, true);
+        tracer.onBranch(s.branch, prog, now, 0, true);
         ++branches;
     }
     tracer.disable(now);
+    return branches;
+}
+
+void
+BM_DecodeRoundtrip(benchmark::State &state)
+{
+    // Pre-encode a trace, then measure decode throughput on the legacy
+    // cache-off path (the fast path is covered by BM_TntMemoDecode).
+    CoreTracer tracer(0);
+    std::uint64_t branches = encodeTrace(testProgram(), 11, tracer);
     const TopaBuffer &buf = tracer.output();
-    FlowReconstructor rec(&testProgram());
+    DecodeOptions opts;
+    opts.block_cache = false;
+    opts.tnt_memo_bits = 0;
+    FlowReconstructor rec(&testProgram(), opts);
     for (auto _ : state) {
         DecodedTrace dt = rec.decode(
             buf.data().data(), buf.bytesAccepted());
@@ -123,6 +136,68 @@ BM_DecodeRoundtrip(benchmark::State &state)
                             static_cast<std::int64_t>(branches));
 }
 BENCHMARK(BM_DecodeRoundtrip);
+
+void
+BM_PacketParse(benchmark::State &state)
+{
+    // Parse-only pass over the loop-heavy trace: bounds how much of
+    // full decode is the byte-stream parser vs the flow walk.
+    static ProgramBinary prog =
+        ProgramBinary::generate(AppCatalog::find("ex"), 1717);
+    CoreTracer tracer(0);
+    std::uint64_t branches = encodeTrace(prog, 13, tracer);
+    const TopaBuffer &buf = tracer.output();
+    for (auto _ : state) {
+        PacketParser parser(buf.data().data(), buf.bytesAccepted());
+        Packet pkt;
+        std::uint64_t n = 0;
+        while (parser.next(pkt))
+            ++n;
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(branches));
+}
+BENCHMARK(BM_PacketParse);
+
+void
+BM_TntMemoDecode(benchmark::State &state)
+{
+    // Decode fast path (DESIGN.md §11) over the loop-heavy stencil
+    // profile (619.lbm_s stand-in) at varying TNT-memo window sizes.
+    // Arg 0 = BlockCache only, no memoization.
+    static ProgramBinary prog =
+        ProgramBinary::generate(AppCatalog::find("lbm"), 1717);
+    CoreTracer tracer(0);
+    std::uint64_t branches = encodeTrace(prog, 13, tracer);
+    const TopaBuffer &buf = tracer.output();
+    DecodeOptions opts;
+    opts.block_cache = true;
+    opts.tnt_memo_bits = static_cast<int>(state.range(0));
+    FlowReconstructor rec(&prog, opts);
+    std::uint64_t hits = 0, misses = 0;
+    std::uint64_t fast_bits = 0, tnt_bits = 0;
+    for (auto _ : state) {
+        DecodedTrace dt = rec.decode(
+            buf.data().data(), buf.bytesAccepted());
+        benchmark::DoNotOptimize(dt.branches_decoded);
+        hits = dt.cache_stats.memo_hits;
+        misses = dt.cache_stats.memo_misses;
+        fast_bits = dt.cache_stats.memo_fast_bits;
+        tnt_bits = dt.tnt_bits_consumed;
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(branches));
+    state.counters["memo_hit%"] =
+        hits + misses > 0 ? 100.0 * static_cast<double>(hits) /
+                                static_cast<double>(hits + misses)
+                          : 0.0;
+    state.counters["fast_bits%"] =
+        tnt_bits > 0 ? 100.0 * static_cast<double>(fast_bits) /
+                           static_cast<double>(tnt_bits)
+                     : 0.0;
+}
+BENCHMARK(BM_TntMemoDecode)->Arg(0)->Arg(1)->Arg(4)->Arg(5)->Arg(6)->Arg(8)->Arg(16);
 
 void
 BM_EventQueue(benchmark::State &state)

@@ -252,6 +252,8 @@ Testbed::run(const ExperimentSpec &spec)
         session.target != nullptr) {
         DecodeOptions sopts;
         sopts.record_path = spec.record_paths;
+        sopts.block_cache = spec.decode_cache;
+        sopts.tnt_memo_bits = spec.tnt_memo_bits;
         streamer = std::make_unique<StreamingDecoder>(
             &session.target->binary(), sopts, spec.decode_threads);
         for (const CoreAllocation &a : exist_backend->plan().allocations)
@@ -357,6 +359,8 @@ Testbed::run(const ExperimentSpec &spec)
         const ProgramBinary &binary = session.target->binary();
         DecodeOptions opts;
         opts.record_path = spec.record_paths;
+        opts.block_cache = spec.decode_cache;
+        opts.tnt_memo_bits = spec.tnt_memo_bits;
 
         // Per-core buffers are independent; fan the decode across the
         // pool and aggregate in collection order, which keeps every
@@ -379,6 +383,13 @@ Testbed::run(const ExperimentSpec &spec)
         for (const auto &[core, dt] : decoded) {
             result.decoded_branches += dt.branches_decoded;
             result.decode_errors += dt.decode_errors;
+            result.decode_cache_hits += dt.cache_stats.memo_hits;
+            result.decode_cache_misses += dt.cache_stats.memo_misses;
+            result.decode_cache_fast_bits +=
+                dt.cache_stats.memo_fast_bits;
+            result.decode_cache_bytes +=
+                dt.cache_stats.memo_bytes +
+                dt.cache_stats.block_cache_bytes;
             for (std::size_t f = 0; f < dt.function_insns.size(); ++f) {
                 result.decoded_function_insns[f] += dt.function_insns[f];
                 result.decoded_function_entries[f] +=

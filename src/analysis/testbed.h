@@ -70,6 +70,13 @@ struct ExperimentSpec {
     bool streaming = false;
     /** Streaming region granularity in real KB (0 = 256 KB). */
     std::uint64_t stream_region_kb = 0;
+    /** Decode through the per-binary BlockCache + TNT-run memo fast
+     *  path (DESIGN.md §11). Off = the legacy CFG walk, kept as the
+     *  bit-identical reference. Only wall-clock decode time changes. */
+    bool decode_cache = true;
+    /** TNT-memo window size in bits (0 disables memoization, the
+     *  block cache alone still applies); clamped to [0, 16]. */
+    int tnt_memo_bits = 6;
     /**
      * Collection-plane transport (ISSUE 6): when enabled, the session
      * result's collection-borne fields travel node agent -> master
@@ -129,6 +136,14 @@ struct ExperimentResult {
     double report_latency_s = 0.0;
     /** Whether the streaming pipeline ran (vs the batch fallback). */
     bool streamed = false;
+
+    // Decode fast-path telemetry, aggregated over all decoded buffers
+    // (pure observability — the values depend on chunking and warm-up,
+    // so reports must never include them; the metrics registry does).
+    std::uint64_t decode_cache_hits = 0;
+    std::uint64_t decode_cache_misses = 0;
+    std::uint64_t decode_cache_fast_bits = 0;
+    std::uint64_t decode_cache_bytes = 0;
 
     const AppResult *find(const std::string &name) const;
     const AppResult &at(const std::string &name) const;

@@ -37,6 +37,13 @@ struct SessionSpec {
     /** Use ring buffers instead of compulsory STOP (ablation, §3.3). */
     bool ring_buffers = false;
 
+    /** Emit CYC timing packets (IA32_RTIT_CTL.CYCEn). Off selects a
+     *  control-flow-only tracing configuration: branch reconstruction
+     *  and per-function attribution are unchanged, intra-segment
+     *  timestamps coarsen to PSB/TSC granularity, and the trace-byte
+     *  volume drops by roughly half on branch-dense workloads. */
+    bool cyc_timing = true;
+
     /** Streaming decode support: split each core's ToPA chain into
      *  regions of this many real bytes so region-fill events fire
      *  throughout the session (0 = one region per core, historical).

@@ -33,6 +33,11 @@ TraceRequest::parse(const std::string &manifest)
             req.core_sample_ratio = std::stod(value);
         } else if (key == "streaming") {
             req.streaming = value == "true" || value == "1";
+        } else if (key == "decode_cache") {
+            req.decode_cache =
+                value == "true" || value == "1" || value == "on";
+        } else if (key == "tnt_memo_bits") {
+            req.tnt_memo_bits = std::stoi(value);
         } else if (key == "net") {
             req.net = value == "true" || value == "1";
         } else if (key == "loss") {
@@ -68,6 +73,10 @@ TraceRequest::toManifest() const
         out << " core_sample_ratio=" << core_sample_ratio;
     if (streaming)
         out << " streaming=true";
+    if (!decode_cache)
+        out << " decode_cache=off";
+    if (tnt_memo_bits != 6)
+        out << " tnt_memo_bits=" << tnt_memo_bits;
     if (net) {
         out << " net=true";
         if (net_loss > 0)

@@ -54,6 +54,12 @@ struct TraceRequest {
      *  flow reconstruction so reports are ready at trace end. Ignored
      *  (batch fallback) when combined with ring=true. */
     bool streaming = false;
+    /** Decode fast path (DESIGN.md §11): per-binary block cache +
+     *  TNT-run memoization. Reports are bit-identical either way;
+     *  off exists for perf comparison and as the reference path. */
+    bool decode_cache = true;
+    /** TNT-memo window size in bits (0 = block cache only). */
+    int tnt_memo_bits = 6;
 
     /** Collection plane (ISSUE 6): ship session results node -> master
      *  over the simulated fabric instead of in-process. The knobs below

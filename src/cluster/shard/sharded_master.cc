@@ -269,6 +269,17 @@ ShardedMaster::recordSessionMetrics(const ExperimentResult &result)
         .add(result.backend_stats.dropped_real_bytes);
     metrics_->counter("uma.msr_writes")
         .add(result.backend_stats.msr_writes);
+    // Decode fast-path telemetry (DESIGN.md §11): memo effectiveness
+    // and table footprint. Recorded here — before the collection plane
+    // strips non-report fields — so the registry sees it regardless of
+    // transport. Telemetry only; never part of any report comparison.
+    metrics_->counter("decode.cache.hits").add(result.decode_cache_hits);
+    metrics_->counter("decode.cache.misses")
+        .add(result.decode_cache_misses);
+    metrics_->counter("decode.cache.fast_bits")
+        .add(result.decode_cache_fast_bits);
+    metrics_->counter("decode.cache.bytes")
+        .add(result.decode_cache_bytes);
     metrics_->counter("sessions.run").add();
 }
 

@@ -25,6 +25,7 @@ ExistBackend::start(Kernel &kernel, const SessionSpec &spec)
     ocfg.period = spec.period;
     ocfg.plan = plan_;
     ocfg.ring_buffers = spec.ring_buffers;
+    ocfg.cyc_timing = spec.cyc_timing;
     ocfg.stream_region_bytes = spec.stream_region_bytes;
     ocfg.eager_control = spec.exist_eager_control;
     ocfg.on_stop = [this, &kernel] {

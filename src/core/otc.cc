@@ -29,7 +29,7 @@ OperationAwareController::start(Kernel &kernel, const Config &cfg)
         TracerConfig tc;
         tc.cr3_filter = true;
         tc.cr3_match = cr3;
-        tc.cyc_en = true;
+        tc.cyc_en = cfg.cyc_timing;
         tc.tsc_en = true;
         tc.cache_bypass = true;  // ToPA regions mapped write-combining
         tc.topa_ring = cfg.ring_buffers;

@@ -31,6 +31,8 @@ class OperationAwareController
         UmaPlan plan;
         /** Ring instead of compulsory STOP buffers (ablation). */
         bool ring_buffers = false;
+        /** CYC timing packets (off = control-flow-only tracing). */
+        bool cyc_timing = true;
         /**
          * Split each core's ToPA allocation into regions of this many
          * real bytes (last region takes the remainder, STOP stays on

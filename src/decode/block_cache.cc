@@ -1,0 +1,76 @@
+#include "decode/block_cache.h"
+
+#include <map>
+
+#include "util/thread_annotations.h"
+
+namespace exist {
+
+BlockCache::BlockCache(const ProgramBinary &prog) : prog_(&prog)
+{
+    blocks_.resize(prog.numBlocks());
+    for (std::uint32_t i = 0; i < prog.numBlocks(); ++i) {
+        const BasicBlock &b = prog.block(i);
+        BlockInfo &bi = blocks_[i];
+        bi.target0 = b.target0;
+        bi.target1 = b.target1;
+        bi.function_id = b.function_id;
+        bi.insns = b.insns;
+        bi.kind = static_cast<std::uint8_t>(b.kind);
+        if (prog.function(b.function_id).entry_block == i)
+            bi.flags |= BlockInfo::kFunctionEntry;
+    }
+
+    // Exact-start address index for blockAt(): power-of-two table at
+    // <= 50% load so linear probes stay short.
+    std::size_t slots = 2;
+    while (slots < 2 * static_cast<std::size_t>(prog.numBlocks()))
+        slots <<= 1;
+    addr_slots_.assign(slots, AddrSlot{});
+    const std::size_t mask = slots - 1;
+    for (std::uint32_t i = 0; i < prog.numBlocks(); ++i) {
+        const std::uint64_t addr = prog.block(i).address;
+        std::uint64_t h = addr * 0x9e3779b97f4a7c15ULL;
+        h ^= h >> 32;
+        std::size_t s = h & mask;
+        while (addr_slots_[s].addr != kEmptyAddr &&
+               addr_slots_[s].addr != addr)
+            s = (s + 1) & mask;
+        // On a duplicate start address keep the higher block id: the
+        // legacy upper_bound search resolves ties to the last block.
+        addr_slots_[s] = AddrSlot{addr, i};
+    }
+}
+
+std::shared_ptr<const BlockCache>
+BlockCache::forBinary(const ProgramBinary *prog)
+{
+    // kLeaf: held across the (allocation-only) cache build, never
+    // across another lock acquisition.
+    static Mutex mu(lockorder::LockRank::kLeaf,
+                    "decode.block_cache_registry");
+    // Identity-keyed registry, never iterated into any report output.
+    static std::map<const ProgramBinary *,  // lint-allow: pointer-keyed-container
+                    std::weak_ptr<const BlockCache>>
+        registry;
+
+    MutexLock lk(mu);
+    std::weak_ptr<const BlockCache> &slot = registry[prog];
+    if (std::shared_ptr<const BlockCache> alive = slot.lock())
+        return alive;
+    auto built = std::make_shared<const BlockCache>(*prog);
+    slot = built;
+    // Drop expired slots so a long-lived process cycling through many
+    // binaries (tests, benches) keeps the registry bounded.
+    if (registry.size() > 64) {
+        for (auto it = registry.begin(); it != registry.end();) {
+            if (it->second.expired() && it->first != prog)
+                it = registry.erase(it);
+            else
+                ++it;
+        }
+    }
+    return built;
+}
+
+}  // namespace exist

@@ -6,15 +6,25 @@
  * indirect transfers. This is the software-decoder stage of the paper's
  * pipeline (libipt equivalent) that turns per-core packet bytes back
  * into human-readable application behaviour.
+ *
+ * Two layers of repetition-awareness sit on the hot path (DESIGN.md
+ * §11): a per-binary immutable BlockCache shared read-only across all
+ * decode workers, and a per-stream TNT-run memo that retires k
+ * conditional outcomes per table hit. Both are behind
+ * DecodeOptions::block_cache / tnt_memo_bits and change only the
+ * speed, never the output: every fast-path apply is count-for-count
+ * the transitions the slow path would have made.
  */
 #ifndef EXIST_DECODE_FLOW_RECONSTRUCTOR_H
 #define EXIST_DECODE_FLOW_RECONSTRUCTOR_H
 
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <vector>
 
 #include "decode/packet_parser.h"
+#include "decode/small_buffers.h"
+#include "decode/tnt_memo.h"
 #include "util/types.h"
 #include "workload/program.h"
 
@@ -26,6 +36,25 @@ struct DecodedSegment {
     Cycles end_time = 0;
     std::uint64_t first_offset = 0;  ///< byte offset where it began
     std::uint64_t branches = 0;      ///< block transitions decoded
+};
+
+/**
+ * Fast-path telemetry for one decoded stream. Pure observability:
+ * the values depend on chunking and warm-up, so they are excluded
+ * from every identity comparison (unlike everything else in
+ * DecodedTrace, which is a pure function of the input bytes).
+ */
+struct DecodeCacheStats {
+    std::uint64_t memo_hits = 0;
+    std::uint64_t memo_misses = 0;
+    std::uint64_t memo_unusable = 0;
+    std::uint64_t memo_evictions = 0;
+    /** TNT bits retired through the memo fast path. */
+    std::uint64_t memo_fast_bits = 0;
+    /** Memo table + arena footprint at finish. */
+    std::uint64_t memo_bytes = 0;
+    /** Shared BlockCache table footprint (whole binary, not a share). */
+    std::uint64_t block_cache_bytes = 0;
 };
 
 /** The reconstruction result for one core's trace buffer. */
@@ -52,6 +81,9 @@ struct DecodedTrace {
     std::uint64_t tips_consumed = 0;
     std::uint64_t decode_errors = 0;
     std::uint64_t resyncs = 0;
+
+    /** Fast-path telemetry; never part of identity comparisons. */
+    DecodeCacheStats cache_stats;
 };
 
 /** Options for reconstruction. */
@@ -61,6 +93,16 @@ struct DecodeOptions {
     bool record_path = false;
     /** Safety valve for pathological inputs. */
     std::uint64_t max_branches = 400'000'000;
+    /** Use the per-binary BlockCache (off: walk workload::Program
+     *  directly — the legacy slow path, kept as the reference). */
+    bool block_cache = true;
+    /** TNT-run memo window size in bits; 0 disables memoization.
+     *  Clamped to [0, TntMemo::kMaxBits]. Needs block_cache. 6 retires
+     *  half again as many outcomes per table hit as 4 while the
+     *  per-block pattern space (2^k) still keeps the hot working set
+     *  cache-resident; much larger windows thrash on branchy
+     *  workloads (hit rate collapses by k = 16). */
+    int tnt_memo_bits = 6;
 };
 
 /**
@@ -80,7 +122,18 @@ struct DecodeOptions {
 class FlowStream
 {
   public:
-    explicit FlowStream(const ProgramBinary *prog, DecodeOptions opts = {});
+    /** `cache` may share a prebuilt BlockCache across streams; when
+     *  null and opts.block_cache is set, the shared per-binary cache
+     *  is fetched (built once) from BlockCache::forBinary(). `pool`
+     *  (optional, must outlive the stream) recycles warm TNT memos
+     *  across streams of the same reconstructor. */
+    explicit FlowStream(const ProgramBinary *prog, DecodeOptions opts = {},
+                        std::shared_ptr<const BlockCache> cache = nullptr,
+                        TntMemoPool *pool = nullptr);
+
+    FlowStream(FlowStream &&) = default;
+    FlowStream &operator=(FlowStream &&) = default;
+    ~FlowStream();
 
     /** Feed the next chunk of the stream; decodes as far as the bytes
      *  allow. Illegal after finish(). */
@@ -104,12 +157,28 @@ class FlowStream
     void openSegment(std::uint64_t offset);
     void closeSegment();
     void visit(std::uint32_t block);
-    void transition(std::uint32_t next, bool from_packet);
-    void drain();
+    void drain(bool defer_tail = false);
+    template <typename Access> void visitT(const Access &acc,
+                                           std::uint32_t block);
+    template <typename Access> void transitionT(const Access &acc,
+                                                std::uint32_t next,
+                                                bool from_packet);
+    template <typename Access>
+    void drainT(const Access &acc, bool defer_tail);
+    bool tryMemoRun();
+    void materializeTail();
+    std::uint32_t blockAt(std::uint64_t addr) const;
     void handlePacket(const Packet &pkt);
+    DecodedTrace seal();
 
     const ProgramBinary *prog_;
     DecodeOptions opts_;
+    std::shared_ptr<const BlockCache> cache_;  ///< null: legacy walk
+    std::unique_ptr<TntMemo> memo_;            ///< null: bit-by-bit
+    TntMemoPool *memo_pool_ = nullptr;  ///< memo_ returns here at seal
+    /** Memo stats at stream start (a pooled memo arrives warm); the
+     *  per-stream cache_stats are deltas against this. */
+    TntMemo::Stats memo_stats_base_;
     std::vector<std::uint8_t> buf_;
     PacketParser parser_{nullptr, 0};
     DecodedTrace out_;
@@ -120,30 +189,48 @@ class FlowStream
     bool after_resync_ = false;
     bool at_syscall_ = false;  ///< waiting for the PGD/PGE pair
     DecodedSegment seg_;
-    std::deque<bool> tnt_queue_;
-    std::deque<std::uint64_t> tip_queue_;
+    TntBitQueue tnt_queue_;
+    SmallRing<std::uint64_t, 8> tip_queue_;
     std::uint32_t resume_hint_ = kNoBlock;
     // Blocks visited since the last packet-consuming transition: the
     // decoder reaches them by statically walking ahead of the last
     // encoded branch, so a PGD may land "behind" them and the matching
     // PGE re-enter one of them without re-execution having happened in
     // between. Resuming must not re-visit them.
-    std::vector<std::uint32_t> static_tail_;
-    std::vector<std::uint32_t> saved_tail_;
+    //
+    // Keep only a short window (kDecodeStaticTailMax): this is the
+    // resume-disambiguation set, and an overly long one mistakes a
+    // different thread's PGE (same CR3, per-core multiplexing) for a
+    // static-overshoot resume, which desynchronizes decode far more
+    // than the duplicate visits a false fresh-open costs.
+    InlineVec<std::uint32_t, kDecodeStaticTailMax> static_tail_;
+    InlineVec<std::uint32_t, kDecodeStaticTailMax> saved_tail_;
+    // Lazy static tail: after a memo run the tail usually dies unused
+    // (the next packet-consuming transition clears it), so applying a
+    // run only records the entry's arena tail *offset* here — not even
+    // resolved to a pointer — and the copy into static_tail_ happens
+    // on the rare reads/extensions (materializeTail). While stale_ is
+    // set, static_tail_ is out of date.
+    std::uint32_t lazy_tail_off_ = 0;
+    std::uint8_t lazy_tail_len_ = 0;
+    bool lazy_tail_stale_ = false;
     bool budget_exhausted_ = false;
     bool finished_ = false;
 };
 
 /**
  * Reconstructor bound to one binary (the paper's decoder fetches the
- * binary from a repository keyed by the traced application).
+ * binary from a repository keyed by the traced application). Builds —
+ * or joins — the binary's shared BlockCache once, so every stream it
+ * opens (one per worker in ParallelDecoder) reads the same table.
  */
 class FlowReconstructor
 {
   public:
     explicit FlowReconstructor(const ProgramBinary *prog,
                                DecodeOptions opts = {})
-        : prog_(prog), opts_(opts)
+        : prog_(prog), opts_(opts),
+          cache_(opts.block_cache ? BlockCache::forBinary(prog) : nullptr)
     {
     }
 
@@ -156,12 +243,28 @@ class FlowReconstructor
         return decode(bytes.data(), bytes.size());
     }
 
-    /** Open a resumable stream for incremental decode. */
-    FlowStream stream() const { return FlowStream(prog_, opts_); }
+    /** Open a resumable stream for incremental decode. Streams borrow
+     *  the reconstructor's memo pool and must not outlive it. */
+    FlowStream
+    stream() const
+    {
+        return FlowStream(prog_, opts_, cache_, &memo_pool_);
+    }
+
+    /** The shared per-binary cache (null when disabled). */
+    const std::shared_ptr<const BlockCache> &blockCache() const
+    {
+        return cache_;
+    }
 
   private:
     const ProgramBinary *prog_;
     DecodeOptions opts_;
+    std::shared_ptr<const BlockCache> cache_;
+    /** Warm TNT memos recycled across this reconstructor's streams
+     *  (decode() is const and concurrent; the pool is internally
+     *  locked and each stream owns its memo exclusively). */
+    mutable TntMemoPool memo_pool_;
 };
 
 }  // namespace exist

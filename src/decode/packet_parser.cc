@@ -39,13 +39,41 @@ bool
 PacketParser::next(Packet &out)
 {
     while (pos_ < size_) {
+        const std::size_t start = pos_;
+        // A packet cut off by the end of a non-final buffer is left
+        // unconsumed (pos_ restored to the packet start) so the retry
+        // sees the whole packet once the next chunk lands; only at the
+        // true stream end is it recorded as truncated. Keeping the
+        // rollback here means the streaming consumer needs no
+        // per-packet state snapshot on its hot loop.
+        auto truncatedTail = [&]() {
+            if (!final_) {
+                pos_ = start;
+                return false;
+            }
+            truncated_ = size_ - start;
+            pos_ = size_;
+            return false;
+        };
         std::uint8_t b = data_[pos_];
 
         if (b & 0x80) {  // kTnt6: 0b10xxxxxx
+            // Batch the whole run of adjacent TNT bytes (the dominant
+            // byte in a loop-heavy trace) into one Packet: the bits
+            // land in the queue in the same order either way, and the
+            // caller's dispatch cost drops from per-6-bits to per-run.
+            std::uint64_t bits = b & 0x3f;
+            unsigned n = 6;
             ++pos_;
+            while (n <= 54 && pos_ < size_ && (data_[pos_] & 0x80)) {
+                bits |= static_cast<std::uint64_t>(data_[pos_] & 0x3f)
+                        << n;
+                n += 6;
+                ++pos_;
+            }
             out.op = PacketOp::kTnt6;
-            out.tnt_bits = b & 0x3f;
-            out.tnt_count = 6;
+            out.tnt_bits = bits;
+            out.tnt_count = static_cast<std::uint8_t>(n);
             return true;
         }
 
@@ -54,8 +82,8 @@ PacketParser::next(Packet &out)
             ++pos_;
             continue;
           case PacketOp::kTntPartial: {
-            if (!have(2)) { truncated_ = size_ - pos_; pos_ = size_;
-                            return false; }
+            if (!have(2))
+                return truncatedTail();
             std::uint8_t p = data_[pos_ + 1];
             pos_ += 2;
             out.op = PacketOp::kTnt6;
@@ -64,8 +92,8 @@ PacketParser::next(Packet &out)
             return true;
           }
           case PacketOp::kExt: {
-            if (!have(2)) { truncated_ = size_ - pos_; pos_ = size_;
-                            return false; }
+            if (!have(2))
+                return truncatedTail();
             std::uint8_t sub = data_[pos_ + 1];
             if (sub == kExtPsb) {
                 // Consume the full PSB run.
@@ -89,8 +117,11 @@ PacketParser::next(Packet &out)
                 return true;
             }
             // Unknown ext: resync.
-            if (!resyncToPsb())
+            if (!resyncToPsb()) {
+                if (!final_)
+                    pos_ = start;
                 return false;
+            }
             out.op = PacketOp::kExt;
             out.value = kExtPsb;
             return true;
@@ -99,14 +130,11 @@ PacketParser::next(Packet &out)
           case PacketOp::kTipPge:
           case PacketOp::kTipPgd:
           case PacketOp::kFup: {
-            if (!have(2)) { truncated_ = size_ - pos_; pos_ = size_;
-                            return false; }
+            if (!have(2))
+                return truncatedTail();
             std::uint8_t len = data_[pos_ + 1];
-            if (len > 8 || !have(2 + len)) {
-                truncated_ = size_ - pos_;
-                pos_ = size_;
-                return false;
-            }
+            if (len > 8 || !have(2 + len))
+                return truncatedTail();
             pos_ += 2;
             std::uint64_t ip = last_ip_;
             if (len > 0) {
@@ -121,28 +149,27 @@ PacketParser::next(Packet &out)
             return true;
           }
           case PacketOp::kPip:
-            if (!have(6)) { truncated_ = size_ - pos_; pos_ = size_;
-                            return false; }
+            if (!have(6))
+                return truncatedTail();
             ++pos_;
             out.op = PacketOp::kPip;
             out.value = readLe(5);
             return true;
           case PacketOp::kMode:
-            if (!have(2)) { truncated_ = size_ - pos_; pos_ = size_;
-                            return false; }
+            if (!have(2))
+                return truncatedTail();
             ++pos_;
             out.op = PacketOp::kMode;
             out.value = readLe(1);
             return true;
           case PacketOp::kTsc:
-            if (!have(8)) { truncated_ = size_ - pos_; pos_ = size_;
-                            return false; }
+            if (!have(8))
+                return truncatedTail();
             ++pos_;
             out.op = PacketOp::kTsc;
             out.value = readLe(7);
             return true;
           case PacketOp::kCyc: {
-            std::size_t start = pos_;
             ++pos_;
             std::uint64_t v = 0;
             int shift = 0;
@@ -172,14 +199,11 @@ PacketParser::next(Packet &out)
             out.op = PacketOp::kOvf;
             return true;
           case PacketOp::kPtw: {
-            if (!have(2)) { truncated_ = size_ - pos_; pos_ = size_;
-                            return false; }
+            if (!have(2))
+                return truncatedTail();
             std::uint8_t len = data_[pos_ + 1];
-            if (len > 8 || !have(2 + len)) {
-                truncated_ = size_ - pos_;
-                pos_ = size_;
-                return false;
-            }
+            if (len > 8 || !have(2 + len))
+                return truncatedTail();
             pos_ += 2;
             out.op = PacketOp::kPtw;
             out.value = readLe(len);
@@ -188,8 +212,11 @@ PacketParser::next(Packet &out)
           default:
             // Unknown opcode (e.g. we landed mid-packet after a ring
             // wrap): resynchronise at the next PSB.
-            if (!resyncToPsb())
+            if (!resyncToPsb()) {
+                if (!final_)
+                    pos_ = start;
                 return false;
+            }
             out.op = PacketOp::kExt;
             out.value = kExtPsb;
             return true;

@@ -15,11 +15,16 @@
 
 namespace exist {
 
-/** A parsed packet. */
+/** A parsed packet. A kTnt6 Packet may carry the outcomes of several
+ *  consecutive TNT bytes (up to 60 bits, oldest in bit 0): adjacent
+ *  one-byte TNT packets are batched into one Packet so the hot decode
+ *  loop pays its per-packet dispatch once per run, not once per six
+ *  branches. Bit order is unchanged, so consumers that iterate
+ *  tnt_count bits see exactly the unbatched stream. */
 struct Packet {
     PacketOp op = PacketOp::kPad;
-    std::uint64_t value = 0;   ///< IP / CR3 / TSC / CYC delta
-    std::uint8_t tnt_bits = 0; ///< for TNT packets
+    std::uint64_t value = 0;     ///< IP / CR3 / TSC / CYC delta
+    std::uint64_t tnt_bits = 0;  ///< for TNT packets
     std::uint8_t tnt_count = 0;
 };
 

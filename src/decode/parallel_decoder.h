@@ -5,7 +5,9 @@
  * DecodedTraces deterministically. Per-core ToPA buffers are
  * independent by construction (the five-tuple switch log, not the
  * byte streams, carries cross-core ordering), so each buffer decodes
- * on its own worker with a shared read-only FlowReconstructor; the
+ * on its own worker with a shared read-only FlowReconstructor — and,
+ * through it, one shared per-binary BlockCache; only the TNT-memo
+ * tables are per-stream, keeping every worker lock-free; the
  * result vector preserves the collection order (ascending core id),
  * which makes the parallel output bit-identical to the serial path at
  * any thread count.

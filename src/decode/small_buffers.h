@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Allocation-light containers for the decode hot path. FlowStream
+ * used std::deque<bool> / std::deque<uint64_t> for the pending TNT and
+ * TIP queues and heap vectors for the static-resume tail; every one of
+ * those allocates on first use and deque<bool> costs a full byte plus
+ * deque bookkeeping per branch outcome. These replacements keep the
+ * common case inline (or in one flat power-of-two ring) and, for the
+ * TNT queue, pack outcomes one bit per bit so the memo fast path can
+ * peek k bits in O(1) words instead of k deque dereferences.
+ *
+ * All three are single-threaded value types: one per FlowStream, which
+ * is itself confined to one decode worker (DESIGN.md §5).
+ */
+#ifndef EXIST_DECODE_SMALL_BUFFERS_H
+#define EXIST_DECODE_SMALL_BUFFERS_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace exist {
+
+/**
+ * FIFO of branch outcomes packed one bit per bit in a power-of-two
+ * ring of 64-bit words. peekBits(n) exposes the next n outcomes as an
+ * integer (bit i = i-th pending outcome) — the TNT-memo lookup key —
+ * and popBits(n) retires a whole memoized run in O(1).
+ */
+class TntBitQueue
+{
+  public:
+    TntBitQueue() : words_(kInitialWords, 0) {}
+
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+    void
+    push_back(bool taken)
+    {
+        if (count_ == capacityBits())
+            grow();
+        setBit((head_ + count_) & (capacityBits() - 1), taken);
+        ++count_;
+    }
+
+    bool
+    front() const
+    {
+        EXIST_ASSERT(count_ != 0, "front() on empty TntBitQueue");
+        return getBit(head_);
+    }
+
+    void
+    pop_front()
+    {
+        EXIST_ASSERT(count_ != 0, "pop_front() on empty TntBitQueue");
+        head_ = (head_ + 1) & (capacityBits() - 1);
+        --count_;
+    }
+
+    /**
+     * Append the low n (<= 64) bits of @p bits in order (bit 0 first):
+     * a whole batched TNT packet's outcomes in at most two masked word
+     * stores instead of n read-modify-write passes.
+     */
+    void
+    pushBits(std::uint64_t bits, unsigned n)
+    {
+        EXIST_ASSERT(n <= 64, "pushBits takes at most 64 bits");
+        while (count_ + n > capacityBits())
+            grow();
+        const std::size_t cap_mask = capacityBits() - 1;
+        const std::size_t pos = (head_ + count_) & cap_mask;
+        const std::size_t w = pos >> 6;
+        const unsigned off = pos & 63;
+        const std::uint64_t v =
+            n == 64 ? bits : bits & ((std::uint64_t{1} << n) - 1);
+        const unsigned n1 = n < 64 - off ? n : 64 - off;
+        const std::uint64_t m1 =
+            (n1 == 64 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << n1) - 1)
+            << off;
+        words_[w] = (words_[w] & ~m1) | ((v << off) & m1);
+        if (n > n1) {
+            const std::size_t w2 = (w + 1) & (words_.size() - 1);
+            const std::uint64_t m2 =
+                (std::uint64_t{1} << (n - n1)) - 1;
+            words_[w2] = (words_[w2] & ~m2) | ((v >> n1) & m2);
+        }
+        count_ += n;
+    }
+
+    /** Next n (<= 32, <= size()) outcomes as bits 0..n-1. */
+    std::uint32_t
+    peekBits(unsigned n) const
+    {
+        EXIST_ASSERT(n <= 32 && n <= count_, "peekBits out of range");
+        if (n == 0)
+            return 0;
+        std::size_t w = head_ >> 6;
+        unsigned off = head_ & 63;
+        std::uint64_t bits = words_[w] >> off;
+        if (off + n > 64)
+            bits |= words_[(w + 1) & (words_.size() - 1)] << (64 - off);
+        return static_cast<std::uint32_t>(
+            bits & ((std::uint64_t{1} << n) - 1));
+    }
+
+    /** Next n (<= 64, <= size()) outcomes as bits 0..n-1: one wide
+     *  read so the memo fast path can chain runs out of a register
+     *  instead of re-extracting the queue head per lookup. */
+    std::uint64_t
+    peekBits64(unsigned n) const
+    {
+        EXIST_ASSERT(n <= 64 && n <= count_, "peekBits64 out of range");
+        if (n == 0)
+            return 0;
+        std::size_t w = head_ >> 6;
+        unsigned off = head_ & 63;
+        std::uint64_t bits = words_[w] >> off;
+        if (off + n > 64)
+            bits |= words_[(w + 1) & (words_.size() - 1)] << (64 - off);
+        if (n == 64)
+            return bits;
+        return bits & ((std::uint64_t{1} << n) - 1);
+    }
+
+    /** Retire the next n outcomes (a consumed memo run). */
+    void
+    popBits(unsigned n)
+    {
+        EXIST_ASSERT(n <= count_, "popBits past end of TntBitQueue");
+        head_ = (head_ + n) & (capacityBits() - 1);
+        count_ -= n;
+    }
+
+  private:
+    static constexpr std::size_t kInitialWords = 4;  // 256 outcomes
+
+    std::size_t capacityBits() const { return words_.size() * 64; }
+
+    void
+    setBit(std::size_t i, bool v)
+    {
+        std::uint64_t mask = std::uint64_t{1} << (i & 63);
+        if (v)
+            words_[i >> 6] |= mask;
+        else
+            words_[i >> 6] &= ~mask;
+    }
+
+    bool
+    getBit(std::size_t i) const
+    {
+        return ((words_[i >> 6] >> (i & 63)) & 1) != 0;
+    }
+
+    void
+    grow()
+    {
+        std::vector<std::uint64_t> wider(words_.size() * 2, 0);
+        // Re-linearize head_ -> 0 bit by bit; growth past 256 pending
+        // outcomes means the producer is far ahead of drain, which is
+        // rare enough that the O(n) copy never shows up.
+        for (std::size_t i = 0; i < count_; ++i) {
+            std::size_t src = (head_ + i) & (capacityBits() - 1);
+            if (getBit(src))
+                wider[i >> 6] |= std::uint64_t{1} << (i & 63);
+        }
+        words_ = std::move(wider);
+        head_ = 0;
+    }
+
+    std::vector<std::uint64_t> words_;
+    std::size_t head_ = 0;   ///< bit index of the front outcome
+    std::size_t count_ = 0;  ///< pending outcomes
+};
+
+/**
+ * FIFO ring with N slots inline; spills to a heap ring only when more
+ * than N entries are pending at once. TIP targets drain almost as fast
+ * as they arrive, so the inline capacity covers virtually every
+ * stream and the queue never touches the allocator.
+ */
+template <typename T, std::size_t N>
+class SmallRing
+{
+  public:
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+    void
+    push_back(const T &v)
+    {
+        if (count_ == cap_)
+            grow();
+        slot((head_ + count_) % cap_) = v;
+        ++count_;
+    }
+
+    const T &
+    front() const
+    {
+        EXIST_ASSERT(count_ != 0, "front() on empty SmallRing");
+        return slot(head_);
+    }
+
+    void
+    pop_front()
+    {
+        EXIST_ASSERT(count_ != 0, "pop_front() on empty SmallRing");
+        head_ = (head_ + 1) % cap_;
+        --count_;
+    }
+
+  private:
+    T &slot(std::size_t i) { return spilled() ? heap_[i] : inline_[i]; }
+    const T &
+    slot(std::size_t i) const
+    {
+        return spilled() ? heap_[i] : inline_[i];
+    }
+    bool spilled() const { return cap_ > N; }
+
+    void
+    grow()
+    {
+        std::vector<T> wider;
+        wider.reserve(cap_ * 2);
+        for (std::size_t i = 0; i < count_; ++i)
+            wider.push_back(slot((head_ + i) % cap_));
+        wider.resize(cap_ * 2);
+        heap_ = std::move(wider);
+        cap_ *= 2;
+        head_ = 0;
+    }
+
+    std::array<T, N> inline_{};
+    std::vector<T> heap_;
+    std::size_t cap_ = N;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+/**
+ * Fixed-capacity inline vector for the static-resume tail (capped at
+ * 12 entries by FlowStream; see the comment at its declaration).
+ * push_back past capacity is a programming error, not a spill.
+ */
+template <typename T, std::size_t N>
+class InlineVec
+{
+  public:
+    bool empty() const { return n_ == 0; }
+    std::size_t size() const { return n_; }
+    static constexpr std::size_t capacity() { return N; }
+
+    void clear() { n_ = 0; }
+
+    void
+    push_back(const T &v)
+    {
+        EXIST_ASSERT(n_ < N, "InlineVec overflow");
+        v_[n_++] = v;
+    }
+
+    const T &operator[](std::size_t i) const { return v_[i]; }
+
+    const T *begin() const { return v_.data(); }
+    const T *end() const { return v_.data() + n_; }
+
+  private:
+    std::array<T, N> v_{};
+    std::size_t n_ = 0;
+};
+
+}  // namespace exist
+
+#endif  // EXIST_DECODE_SMALL_BUFFERS_H

@@ -62,7 +62,9 @@ RegionQueue::highWater() const
 StreamingDecoder::StreamingDecoder(const ProgramBinary *prog,
                                    DecodeOptions opts, int threads,
                                    std::size_t queue_capacity)
-    : prog_(prog), opts_(opts), queue_(queue_capacity)
+    : prog_(prog), opts_(opts),
+      cache_(opts.block_cache ? BlockCache::forBinary(prog) : nullptr),
+      queue_(queue_capacity)
 {
     if (threads != 1) {
         pool_ = std::make_unique<ThreadPool>(threads);
@@ -95,7 +97,8 @@ StreamingDecoder::addCore(CoreId core)
 {
     EXIST_ASSERT(!publishing_started_.load(std::memory_order_relaxed),
                  "addCore after first publish");
-    cores_.push_back(std::make_unique<CoreState>(core, prog_, opts_));
+    cores_.push_back(
+        std::make_unique<CoreState>(core, prog_, opts_, cache_));
 }
 
 StreamingDecoder::CoreState &

@@ -148,8 +148,9 @@ class StreamingDecoder
             EXIST_GUARDED_BY(mu);
 
         CoreState(CoreId c, const ProgramBinary *prog,
-                  DecodeOptions opts)
-            : core(c), stream(prog, opts)
+                  DecodeOptions opts,
+                  std::shared_ptr<const BlockCache> cache)
+            : core(c), stream(prog, opts, std::move(cache))
         {
         }
     };
@@ -159,6 +160,9 @@ class StreamingDecoder
 
     const ProgramBinary *prog_;
     DecodeOptions opts_;
+    /** One BlockCache per session, read-only across every core's
+     *  stream and worker (null when decode_cache is off). */
+    std::shared_ptr<const BlockCache> cache_;
     std::unique_ptr<ThreadPool> pool_;  ///< null in inline mode
     RegionQueue queue_;
     std::vector<std::unique_ptr<CoreState>> cores_;

@@ -206,6 +206,37 @@ AppCatalog::specSuite()
 }
 
 std::vector<AppProfile>
+AppCatalog::auxSuite()
+{
+    std::vector<AppProfile> suite;
+
+    {  // 619.lbm_s-style fluid-dynamics stencil: the loop-heavy end of
+       // the spectrum. Nearly all control flow is loop backedges over
+       // wide vectorized bodies — calls and returns are rare, so the
+       // packet stream is long runs of strongly-biased TNT bits. This
+       // is the profile the decode fast path (DESIGN.md §11) targets.
+        AppProfile p = computeApp("lbm", "Fluid dynamics stencil");
+        p.base_cpi = 0.70;
+        p.num_functions = 24;
+        p.min_blocks_per_fn = 4;
+        p.avg_insns_per_block = 90.0;
+        p.w_cond = 0.82;
+        p.w_djump = 0.09;
+        p.w_dcall = 0.03;
+        p.w_ijump = 0.010;
+        p.w_icall = 0.005;
+        p.w_ret = 0.045;
+        p.taken_bias = 0.86;
+        p.branch_miss_pki = 0.6;
+        p.l1_miss_pki = 28.0;
+        p.phase_strength = 0.15;
+        p.binary_bytes = 1ull << 20;
+        suite.push_back(p);
+    }
+    return suite;
+}
+
+std::vector<AppProfile>
 AppCatalog::onlineSuite()
 {
     std::vector<AppProfile> suite;
@@ -404,8 +435,8 @@ AppProfile
 AppCatalog::find(const std::string &name)
 {
     for (auto maker : {&AppCatalog::specSuite, &AppCatalog::onlineSuite,
-                       &AppCatalog::cloudSuite,
-                       &AppCatalog::caseStudySuite}) {
+                       &AppCatalog::cloudSuite, &AppCatalog::caseStudySuite,
+                       &AppCatalog::auxSuite}) {
         for (auto &p : maker())
             if (p.name == name)
                 return p;
@@ -418,8 +449,8 @@ AppCatalog::allNames()
 {
     std::vector<std::string> names;
     for (auto maker : {&AppCatalog::specSuite, &AppCatalog::onlineSuite,
-                       &AppCatalog::cloudSuite,
-                       &AppCatalog::caseStudySuite}) {
+                       &AppCatalog::cloudSuite, &AppCatalog::caseStudySuite,
+                       &AppCatalog::auxSuite}) {
         for (auto &p : maker())
             names.push_back(p.name);
     }

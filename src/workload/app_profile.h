@@ -135,6 +135,12 @@ class AppCatalog
     /** §5.4 case-study set: Search Cache Prediction Matching Recommend. */
     static std::vector<AppProfile> caseStudySuite();
 
+    /** Auxiliary profiles for targeted micro-studies, outside the
+     *  paper's Table 1 suites (so suite-iterating experiments are
+     *  unaffected): lbm (loop-heavy fluid-dynamics stencil, the
+     *  decode fast-path study workload). */
+    static std::vector<AppProfile> auxSuite();
+
     /** Look up any profile by name; fatal on unknown names. */
     static AppProfile find(const std::string &name);
 

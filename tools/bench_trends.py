@@ -8,9 +8,14 @@ BENCH_<set>.json at the repo root) so CI can diff the trajectory
 run-over-run.
 
 Sets:
-    decode   decode_throughput + decode_latency  -> BENCH_decode.json
+    decode   decode_throughput + decode_latency
+             + micro_bench (TNT-memo sweep)      -> BENCH_decode.json
     cluster  reconcile_throughput                -> BENCH_cluster.json
     net      collect_throughput                  -> BENCH_net.json
+
+micro_bench is a google-benchmark binary, not a "JSON "-line one: it is
+run with --benchmark_format=json filtered to the TNT-memo sweep, and
+its entries are normalized into the same record stream.
 
 Usage:
     tools/bench_trends.py [--set decode] [--build-dir build]
@@ -29,9 +34,16 @@ import subprocess
 import sys
 
 BENCH_SETS = {
-    "decode": ["decode_throughput", "decode_latency"],
+    "decode": ["decode_throughput", "decode_latency", "micro_bench"],
     "cluster": ["reconcile_throughput"],
     "net": ["collect_throughput"],
+}
+
+# Binaries in GOOGLE_BENCHMARK_BENCHES speak google-benchmark's
+# --benchmark_format=json instead of "JSON " lines; the filter keeps
+# the driver's runtime bounded to the sweep CI actually tracks.
+GOOGLE_BENCHMARK_BENCHES = {
+    "micro_bench": "BM_TntMemoDecode",
 }
 
 
@@ -65,9 +77,68 @@ def run_bench(path, scale):
     return proc.returncode, lines, proc.stdout
 
 
+def run_google_benchmark(path, bench_filter):
+    """Run a google-benchmark binary and normalize its JSON report."""
+    proc = subprocess.run(
+        [path, f"--benchmark_filter={bench_filter}",
+         "--benchmark_format=json"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    if proc.returncode != 0:
+        return proc.returncode, [], proc.stdout + proc.stderr
+    try:
+        report = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        raise BenchOutputError(
+            f"{os.path.basename(path)}: malformed google-benchmark "
+            f"JSON: {e}") from e
+    records = []
+    for entry in report.get("benchmarks", []):
+        name = entry.get("name", "")
+        record = {
+            "bench": os.path.basename(path),
+            "name": name,
+            "real_time_ns": entry.get("real_time"),
+            "items_per_second": entry.get("items_per_second"),
+        }
+        # "BM_TntMemoDecode/8" -> tnt_memo_bits=8.
+        if "/" in name:
+            arg = name.rsplit("/", 1)[1]
+            if arg.isdigit():
+                record["tnt_memo_bits"] = int(arg)
+        if "memo_hit%" in entry:
+            record["memo_hit_pct"] = entry["memo_hit%"]
+        records.append(record)
+    return 0, records, proc.stdout
+
+
 def summarize(records):
     """Pull the headline numbers out of the raw per-config records."""
     summary = {}
+    cache = [r for r in records
+             if r.get("bench") == "decode_throughput"
+             and r.get("mode") == "cache"]
+    if cache:
+        best = max(cache, key=lambda r: r.get("speedup", 0.0))
+        summary["decode_cache"] = {
+            "best_speedup": best.get("speedup"),
+            "best_app": best.get("app"),
+            "speedups": {r.get("app"): r.get("speedup") for r in cache},
+            "memo_hit_pct": {r.get("app"): r.get("memo_hit_pct")
+                             for r in cache},
+            "all_identical": all(r.get("identical") for r in cache),
+        }
+    memo = [r for r in records
+            if r.get("bench") == "micro_bench"
+            and "tnt_memo_bits" in r]
+    if memo:
+        best = max(memo, key=lambda r: r.get("items_per_second") or 0.0)
+        summary["tnt_memo"] = {
+            "best_branches_per_sec": best.get("items_per_second"),
+            "best_bits": best.get("tnt_memo_bits"),
+            "branches_per_sec_by_bits": {
+                str(r.get("tnt_memo_bits")): r.get("items_per_second")
+                for r in memo},
+        }
     tp = [r for r in records
           if r.get("bench") == "decode_throughput"
           and r.get("mode") == "parallel"]
@@ -144,7 +215,11 @@ def main():
             return 1
         print(f"running {name} ...", flush=True)
         try:
-            rc, lines, output = run_bench(path, args.scale)
+            if name in GOOGLE_BENCHMARK_BENCHES:
+                rc, lines, output = run_google_benchmark(
+                    path, GOOGLE_BENCHMARK_BENCHES[name])
+            else:
+                rc, lines, output = run_bench(path, args.scale)
         except BenchOutputError as e:
             print(f"bench output error: {e}", file=sys.stderr)
             return 1

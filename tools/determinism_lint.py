@@ -25,6 +25,14 @@ are the usual way that invariant rots, so this lint bans them outright:
                        Mutex/MutexLock/CondVar wrappers so Clang's
                        thread-safety analysis and the debug lock-order
                        validator see every acquisition.
+  pointer-keyed-container
+                       std::map/std::set (ordered or unordered) keyed
+                       by a raw pointer in the deterministic output
+                       layers.  Pointer keys order (or hash) by
+                       allocation address, so iteration order varies
+                       run to run under ASLR/allocator drift; key by a
+                       stable id (block index, function id, name) or
+                       sort by a value-derived field before emitting.
 
 Suppression, narrowest first:
   * an inline `// lint-allow: <rule>` comment on the offending line;
@@ -95,6 +103,14 @@ RULES = [
     (
         "unordered-iteration",
         re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b"),
+        ORDERED_OUTPUT_DIRS,
+    ),
+    (
+        "pointer-keyed-container",
+        re.compile(
+            r"\bstd::(?:unordered_)?(?:map|set|multimap|multiset)\s*<\s*"
+            r"(?:const\s+)?[\w:]+(?:\s+const)?\s*\*"
+        ),
         ORDERED_OUTPUT_DIRS,
     ),
     (

@@ -10,6 +10,7 @@
  *                        [--backend EXIST|StaSam|eBPF|NHT]
  *                        [--cores N] [--clients N] [--report]
  *                        [--threads N] [--streaming] [--shards N]
+ *                        [--no-decode-cache] [--tnt-memo-bits N]
  *                        [--net] [--loss R] [--reorder R]
  *                        [--duplicate R] [--link-latency-us N]
  *       Run one node-level tracing session against a synthetic
@@ -18,6 +19,10 @@
  *       --streaming overlaps trace collection with flow reconstruction
  *       (EXIST backend only), shrinking the trace-end-to-report-ready
  *       latency; the decoded output is bit-identical to batch.
+ *       --no-decode-cache falls back to the legacy CFG-walk decoder
+ *       and --tnt-memo-bits N sets the TNT-run memo window (0
+ *       disables memoization; see DESIGN.md §11). Both are pure
+ *       perf knobs: the report is bit-identical either way.
  *       --shards N switches to the sharded control plane: a demo
  *       cluster deploys <app>, a stream of anomaly requests reconciles
  *       across N API-server shards, and the merged reports print.
@@ -74,8 +79,9 @@ usage()
         "       existctl trace <app> [--period-ms N] [--budget-mb N]\n"
         "                      [--backend NAME] [--cores N]\n"
         "                      [--clients N] [--report] [--threads N]\n"
-        "                      [--streaming] [--shards N] [--net]\n"
-        "                      [--loss R] [--reorder R]\n"
+        "                      [--streaming] [--shards N]\n"
+        "                      [--no-decode-cache] [--tnt-memo-bits N]\n"
+        "                      [--net] [--loss R] [--reorder R]\n"
         "                      [--duplicate R] [--link-latency-us N]\n"
         "       existctl cluster <manifest>... [--threads N]\n"
         "       existctl metrics [<manifest>...] [--shards N]\n"
@@ -146,6 +152,7 @@ netManifest(const net::NetSpec &net)
 int
 traceSharded(const std::string &app, double period_ms,
              std::uint64_t budget_mb, int shards, int threads,
+             bool decode_cache, int tnt_memo_bits,
              const net::NetSpec &net)
 {
     ClusterConfig cc;
@@ -158,7 +165,12 @@ traceSharded(const std::string &app, double period_ms,
     std::string manifest =
         "app=" + app + " anomaly=true period_ms=" +
         std::to_string(static_cast<long long>(period_ms)) +
-        " budget_mb=" + std::to_string(budget_mb) + netManifest(net);
+        " budget_mb=" + std::to_string(budget_mb);
+    if (!decode_cache)
+        manifest += " decode_cache=off";
+    if (tnt_memo_bits != 6)
+        manifest += " tnt_memo_bits=" + std::to_string(tnt_memo_bits);
+    manifest += netManifest(net);
     // The shard count goes to stderr with the other telemetry so
     // stdout is byte-comparable across shard counts.
     std::fprintf(stderr,
@@ -203,6 +215,8 @@ cmdTrace(int argc, char **argv)
     int clients = 10;
     bool report = false;
     bool streaming = false;
+    bool decode_cache = true;
+    int tnt_memo_bits = 6;
     int threads = 0;  // 0 = default pool (hardware concurrency)
     int shards = 0;   // 0 = single-node session (no control plane)
     net::NetSpec net;
@@ -230,6 +244,10 @@ cmdTrace(int argc, char **argv)
             report = true;
         else if (arg == "--streaming")
             streaming = true;
+        else if (arg == "--no-decode-cache")
+            decode_cache = false;
+        else if (arg == "--tnt-memo-bits")
+            tnt_memo_bits = std::atoi(next());
         else if (arg == "--threads")
             threads = std::atoi(next());
         else if (arg == "--shards")
@@ -248,8 +266,8 @@ cmdTrace(int argc, char **argv)
             return usage();
     }
     if (shards > 0)
-        return traceSharded(app, period_ms, budget_mb, shards,
-                            threads, net);
+        return traceSharded(app, period_ms, budget_mb, shards, threads,
+                            decode_cache, tnt_memo_bits, net);
 
     AppProfile profile = AppCatalog::find(app);
     ExperimentSpec spec;
@@ -266,6 +284,8 @@ cmdTrace(int argc, char **argv)
     spec.keep_traces = report;
     spec.decode_threads = threads;
     spec.streaming = streaming;
+    spec.decode_cache = decode_cache;
+    spec.tnt_memo_bits = tnt_memo_bits;
 
     std::printf("tracing '%s' with %s for %.0f ms on a %d-core node "
                 "(budget %llu MB)...\n",
@@ -320,7 +340,10 @@ cmdTrace(int argc, char **argv)
 
     if (report && !r.raw_traces.empty()) {
         auto binary = Testbed::binaryForApp(app);
-        ParallelDecoder decoder(binary.get(), {}, threads);
+        DecodeOptions ropts;
+        ropts.block_cache = decode_cache;
+        ropts.tnt_memo_bits = tnt_memo_bits;
+        ParallelDecoder decoder(binary.get(), ropts, threads);
         std::vector<std::pair<CoreId, DecodedTrace>> decoded =
             decoder.decodeAll(r.raw_traces);
         std::printf("\n%s", BehaviorReport::synthesize(
