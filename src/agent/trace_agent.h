@@ -90,10 +90,15 @@ class TraceAgent
     /**
      * Enqueue one session payload for shipment as stream `stream`
      * (unique per agent). Staging, sending, retries and the finale
-     * all run on the event queue from here on.
+     * all run on the event queue from here on. `start_seq` resumes a
+     * recovered transfer: batches [0, start_seq) are treated as
+     * already delivered (the master's ingest holds their journaled
+     * prefix), so staging begins there; start_seq == total batches
+     * degenerates to a finale-only stream.
      */
     void ship(std::uint64_t stream, std::vector<std::uint8_t> payload,
-              std::string summary) EXIST_EXCLUDES(mu_);
+              std::string summary, std::uint64_t start_seq = 0)
+        EXIST_EXCLUDES(mu_);
 
     /** True once every shipped stream's finale has been acked. */
     bool idle() const EXIST_EXCLUDES(mu_);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "baselines/backend.h"
+#include "durability/spec.h"
 #include "net/fabric.h"
 #include "os/kernel.h"
 #include "util/stats.h"
@@ -86,6 +87,13 @@ struct ExperimentSpec {
      * session finishes, so analysis stays independent of the cluster.
      */
     net::NetSpec net;
+    /**
+     * Durability plane (DESIGN.md §12): like `net`, Testbed::run
+     * ignores this — the control plane (masters + durability journal)
+     * consumes it. Carried here so one spec describes the whole
+     * experiment, including its crash-recovery configuration.
+     */
+    durability::DurabilitySpec durability;
     std::uint64_t seed = 1;
 };
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cluster/session_payload.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace exist {
@@ -28,7 +29,8 @@ struct Shipment {
 CollectionOutcome
 runCollection(const net::NetSpec &spec, std::uint64_t seed,
               const std::string &app, std::vector<Shipment> shipments,
-              metrics::Registry *registry)
+              metrics::Registry *registry,
+              const CollectHooks *hooks = nullptr)
 {
     CollectionOutcome out;
     out.ran = true;
@@ -36,7 +38,10 @@ runCollection(const net::NetSpec &spec, std::uint64_t seed,
 
     EventQueue q;
     net::Fabric fabric(&q, spec, seed);
-    Ingest ingest(&q, &fabric, kCollectorNode);
+    IngestConfig icfg;
+    if (hooks != nullptr && hooks->on_consume)
+        icfg.on_consume = hooks->on_consume;
+    Ingest ingest(&q, &fabric, kCollectorNode, icfg);
     fabric.attach(kCollectorNode,
                   [&ingest](NodeId src,
                             const std::vector<std::uint8_t> &bytes) {
@@ -61,8 +66,38 @@ runCollection(const net::NetSpec &spec, std::uint64_t seed,
         std::vector<std::uint8_t> bytes = p.encode();
         std::string summary = p.encodeSummary();
         SessionPayload::stripResult(sh.result, app);
+
+        // Resume a recovered transfer: the WAL holds the prefix the
+        // crashed master already consumed. The recomputed payload must
+        // byte-match the journaled prefix — the sessions are
+        // deterministic replays of the same seeds, so a mismatch means
+        // the log and this binary disagree and resuming would splice
+        // two different payloads together. Fail loudly instead.
+        std::uint64_t start_seq = 0;
+        if (hooks != nullptr) {
+            auto rit = hooks->resume.find({sh.node, sh.stream});
+            if (rit != hooks->resume.end()) {
+                const StreamResume &cur = rit->second;
+                const agent::AgentConfig acfg;
+                std::uint64_t total =
+                    (bytes.size() + acfg.batch_bytes - 1) /
+                    acfg.batch_bytes;
+                EXIST_ASSERT(
+                    cur.total_batches == total &&
+                        cur.prefix.size() <= bytes.size() &&
+                        std::equal(cur.prefix.begin(),
+                                   cur.prefix.end(), bytes.begin()),
+                    "resume cursor for node %d stream %llu does not "
+                    "match the recomputed session payload", sh.node,
+                    (unsigned long long)sh.stream);
+                ingest.restoreStream(sh.node, sh.stream,
+                                     cur.total_batches, cur.cumulative,
+                                     cur.prefix);
+                start_seq = cur.cumulative;
+            }
+        }
         it->second->ship(sh.stream, std::move(bytes),
-                         std::move(summary));
+                         std::move(summary), start_seq);
     }
 
     const Cycles deadline =
@@ -161,7 +196,7 @@ collectSeed(std::uint64_t cluster_seed, std::uint64_t request_id)
 
 CollectionOutcome
 collectPlan(RequestPlan &plan, std::uint64_t cluster_seed,
-            metrics::Registry *registry)
+            metrics::Registry *registry, const CollectHooks *hooks)
 {
     if (plan.sessions.empty() ||
         !plan.sessions.front().spec.net.enabled)
@@ -173,7 +208,8 @@ collectPlan(RequestPlan &plan, std::uint64_t cluster_seed,
                                      &plan.sessions[i].result});
     return runCollection(plan.sessions.front().spec.net,
                          collectSeed(cluster_seed, plan.req->id),
-                         plan.req->app, std::move(shipments), registry);
+                         plan.req->app, std::move(shipments), registry,
+                         hooks);
 }
 
 CollectionOutcome

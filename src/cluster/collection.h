@@ -24,6 +24,7 @@
 #include <string>
 
 #include "agent/trace_agent.h"
+#include "cluster/control_journal.h"
 #include "cluster/ingest.h"
 #include "cluster/metrics.h"
 #include "cluster/shard/plan.h"
@@ -62,10 +63,18 @@ struct CollectionOutcome {
  * ship them through agents over the fabric, reassemble at the
  * ingest, re-apply. Publishes net.* / agent.* metrics into
  * `registry` (nullptr = skip).
+ *
+ * `hooks` (nullable) carries the durability plane's ingest hooks:
+ * on_consume journals every in-order consumed batch, and `resume`
+ * pre-seeds the ingest + agents with cursors recovered from the WAL
+ * so a resumed stream ships only its undelivered tail. A resume
+ * cursor whose journaled prefix does not byte-match the recomputed
+ * session payload is a determinism violation and fails loudly.
  */
 CollectionOutcome collectPlan(RequestPlan &plan,
                               std::uint64_t cluster_seed,
-                              metrics::Registry *registry);
+                              metrics::Registry *registry,
+                              const CollectHooks *hooks = nullptr);
 
 /** Single-session variant (existctl trace --net): node 0 -> master
  *  over a private fabric seeded with `seed`. */

@@ -1,0 +1,60 @@
+#include "cluster/control_journal.h"
+
+#include <utility>
+
+#include "cluster/shard/plan.h"
+
+namespace exist {
+
+namespace {
+
+/** StoreSink that records instead of storing. */
+class CaptureSink : public StoreSink
+{
+  public:
+    explicit CaptureSink(PublishEffects *fx) : fx_(fx) {}
+
+    void
+    putObject(const std::string &key,
+              std::vector<std::uint8_t> bytes) override
+    {
+        fx_->objects.emplace_back(key, std::move(bytes));
+    }
+
+    void
+    insertRow(TraceRow row) override
+    {
+        fx_->rows.push_back(std::move(row));
+    }
+
+  private:
+    PublishEffects *fx_;
+};
+
+}  // namespace
+
+PublishEffects
+capturePublish(RequestPlan &plan)
+{
+    PublishEffects fx;
+    CaptureSink sink(&fx);
+    fx.report = publishRequest(plan, sink);
+    fx.ledger.app = plan.req->app;
+    fx.ledger.sessions = plan.sessions.size();
+    fx.ledger.period = plan.period;
+    fx.ledger.trace_bytes = fx.report.total_trace_bytes;
+    return fx;
+}
+
+void
+applyPublish(PublishEffects &fx, StoreSink &sink)
+{
+    for (auto &[key, bytes] : fx.objects)
+        sink.putObject(key, std::move(bytes));
+    for (TraceRow &row : fx.rows)
+        sink.insertRow(std::move(row));
+    fx.objects.clear();
+    fx.rows.clear();
+}
+
+}  // namespace exist

@@ -48,6 +48,10 @@ TraceRequest::parse(const std::string &manifest)
             req.net_duplicate = std::stod(value);
         } else if (key == "link_latency_us") {
             req.net_link_latency_us = std::stod(value);
+        } else if (key == "wal") {
+            req.wal_dir = value;
+        } else if (key == "snapshot_interval") {
+            req.snapshot_interval = std::stoull(value);
         } else {
             EXIST_FATAL("unknown manifest key '%s'", key.c_str());
         }
@@ -88,6 +92,10 @@ TraceRequest::toManifest() const
         if (net_link_latency_us != 50.0)
             out << " link_latency_us=" << net_link_latency_us;
     }
+    // wal_dir is intentionally omitted (host-local; see crd.h); the
+    // interval rides along so a re-parsed manifest keeps the cadence.
+    if (snapshot_interval != 8)
+        out << " snapshot_interval=" << snapshot_interval;
     return out.str();
 }
 

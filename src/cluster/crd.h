@@ -70,6 +70,15 @@ struct TraceRequest {
     double net_duplicate = 0.0;  ///< per-frame duplicate probability
     double net_link_latency_us = 50.0;
 
+    /** Durability plane (DESIGN.md §12): wal= names the directory the
+     *  control plane journals into. Deliberately NOT rendered by
+     *  toManifest(): it is host-local deployment state, and manifests
+     *  must stay byte-identical across hosts and across a recovery
+     *  (snapshots and WAL records embed manifests verbatim). */
+    std::string wal_dir;
+    /** Publishes between snapshots (0 = never snapshot). */
+    std::uint64_t snapshot_interval = 8;
+
     RequestPhase phase = RequestPhase::kPending;
 
     /** The fabric configuration this request asks for. */

@@ -2,6 +2,7 @@
 
 #include "analysis/testbed.h"
 #include "cluster/collection.h"
+#include "cluster/control_journal.h"
 #include "cluster/metrics.h"
 #include "cluster/shard/plan.h"
 #include "runtime/thread_pool.h"
@@ -51,6 +52,10 @@ Master::submit(TraceRequest req)
     req.id = next_id_++;
     req.phase = RequestPhase::kPending;
     std::uint64_t id = req.id;
+    // WAL-before-state: the admission is durable before the API-server
+    // map reflects it, so a crash here replays the insert.
+    if (journal_ != nullptr)
+        journal_->onAdmit(req);
     requests_.emplace(id, std::move(req));
     return id;
 }
@@ -86,6 +91,8 @@ Master::reconcile()
     for (auto &[id, req] : requests_)
         if (req.phase == RequestPhase::kPending) {
             plans.push_back(planRequest(cluster_, rco_, req, threads_));
+            if (journal_ != nullptr)
+                journal_->onPlanned(id, plans.back().outcome);
             // Single-threaded API server: the transition needs no lock
             // here, unlike the sharded path (shard.mu).
             req.phase = plans.back().outcome;
@@ -119,9 +126,14 @@ Master::reconcile()
     // request's private simulated fabric before they are published.
     // Seeded per request, so the serial and sharded masters see the
     // same fault pattern and publish byte-identical reports.
-    for (RequestPlan &plan : plans)
+    for (RequestPlan &plan : plans) {
+        CollectHooks hooks;
+        if (journal_ != nullptr)
+            hooks = journal_->collectHooks(plan.req->id);
         collectPlan(plan, cluster_->config().seed,
-                    &metrics::Registry::global());
+                    &metrics::Registry::global(),
+                    journal_ != nullptr ? &hooks : nullptr);
+    }
 
     // Phase 3 — publish serially in request-id order: OSS uploads,
     // ODPS rows, coverage accounting and report assembly see session
@@ -138,11 +150,52 @@ Master::publishOne(RequestPlan &plan)
         return;  // failed during planning
 
     SerialSink sink(oss_, odps_);
-    TraceReport report = publishRequest(plan, sink);
-    ledger_.recordRequest(req.app, plan.sessions.size(), plan.period,
-                          report.total_trace_bytes);
-    reports_.emplace(req.id, std::move(report));
+    if (journal_ != nullptr) {
+        // WAL-before-state, physically: capture the pure publish,
+        // journal the full effects, then apply. A crash after the
+        // append replays the effects instead of re-running anything.
+        PublishEffects fx = capturePublish(plan);
+        journal_->onPublish(req.id, fx);
+        applyPublish(fx, sink);
+        ledger_.recordRequest(fx.ledger.app, fx.ledger.sessions,
+                              fx.ledger.period, fx.ledger.trace_bytes);
+        reports_.emplace(req.id, std::move(fx.report));
+    } else {
+        TraceReport report = publishRequest(plan, sink);
+        ledger_.recordRequest(req.app, plan.sessions.size(),
+                              plan.period, report.total_trace_bytes);
+        reports_.emplace(req.id, std::move(report));
+    }
     req.phase = RequestPhase::kCompleted;
+}
+
+ControlStateDump
+Master::dumpState() const
+{
+    ControlStateDump dump;
+    dump.next_id = next_id_;
+    dump.requests = requests_;
+    dump.reports = reports_;
+    dump.ledger = ledger_;
+    for (const auto &[key, bytes] : oss_.objects())
+        dump.objects.emplace_back(key, bytes);
+    dump.rows = odps_.rows();
+    return dump;
+}
+
+void
+Master::restoreForRecovery(const ControlStateDump &dump)
+{
+    next_id_ = dump.next_id;
+    requests_ = dump.requests;
+    reports_ = dump.reports;
+    ledger_ = dump.ledger;
+    for (const auto &[key, bytes] : dump.objects)
+        oss_.put(key, bytes);
+    // Re-insert preserves the dump's row order, which for the serial
+    // master is the original insertion (publish) order.
+    for (const TraceRow &row : dump.rows)
+        odps_.insert(row);
 }
 
 Master::Footprint

@@ -30,6 +30,8 @@
 namespace exist {
 
 struct RequestPlan;
+class ControlJournal;
+struct ControlStateDump;
 
 /**
  * Threading model: Master is the *serial* control plane — one thread
@@ -103,6 +105,19 @@ class Master
 
     std::uint64_t sessionsRun() const { return sessions_run_; }
 
+    /**
+     * Attach the durability journal (cluster/control_journal.h).
+     * Every mutation hook runs WAL-before-state: the journal append
+     * precedes the in-memory change. nullptr detaches (the historical
+     * in-memory-only behaviour).
+     */
+    void attachJournal(ControlJournal *journal) { journal_ = journal; }
+
+    /** Full state image at a quiesced boundary (snapshot barrier). */
+    ControlStateDump dumpState() const;
+    /** Recovery-only: install a recovered image wholesale. */
+    void restoreForRecovery(const ControlStateDump &dump);
+
   private:
     /** Phase 3: publish one planned+run request and register its
      *  report (serial, request order). */
@@ -111,6 +126,7 @@ class Master
     Cluster *cluster_;
     RepetitionAwareCoverageOptimizer rco_;
     int threads_;
+    ControlJournal *journal_ = nullptr;
     std::map<std::uint64_t, TraceRequest> requests_;
     std::map<std::uint64_t, TraceReport> reports_;
     ObjectStore oss_;

@@ -49,6 +49,14 @@ class CommitLog
         return next_id_.load(std::memory_order_relaxed) - 1;
     }
 
+    /** Recovery-only: resume the id stream where the crashed control
+     *  plane left it, so re-submitted and new requests get the same
+     *  ids a crash-free run would have assigned. */
+    void restoreNextId(std::uint64_t next_id)
+    {
+        next_id_.store(next_id, std::memory_order_relaxed);
+    }
+
     /** Start an epoch expecting commits with sequences [0, entries). */
     void beginEpoch(std::uint64_t entries);
 

@@ -5,6 +5,7 @@
 
 #include "analysis/testbed.h"
 #include "cluster/collection.h"
+#include "cluster/control_journal.h"
 #include "runtime/thread_pool.h"
 #include "util/logging.h"
 
@@ -70,6 +71,11 @@ ShardedMaster::submit(TraceRequest req)
     req.id = log_.allocateId();
     req.phase = RequestPhase::kPending;
     std::uint64_t id = req.id;
+    // WAL-before-state: the admission is durable before the shard map
+    // reflects it. Admits from different submitters may interleave in
+    // the log; replay keys them by id, so the order is immaterial.
+    if (journal_ != nullptr)
+        journal_->onAdmit(req);
     Shard &shard = shardFor(id);
     {
         MutexLock lk(shard.mu);
@@ -196,6 +202,8 @@ ShardedMaster::reconcileShard(std::size_t index,
         // happens under shard.mu, so concurrent phaseOf() readers
         // never race a bare store.
         RequestPlan plan = planRequest(cluster_, rco_, *req, threads_);
+        if (journal_ != nullptr)
+            journal_->onPlanned(id, plan.outcome);
         {
             MutexLock lk(shard.mu);
             req->phase = plan.outcome;
@@ -213,15 +221,30 @@ ShardedMaster::reconcileShard(std::size_t index,
         // fabric is seeded by (cluster seed, request id), so the fault
         // pattern — hence the published report — is independent of
         // shard count, thread count and reconcile interleaving.
-        collectPlan(plan, cluster_->config().seed, metrics_);
+        {
+            CollectHooks hooks;
+            if (journal_ != nullptr)
+                hooks = journal_->collectHooks(id);
+            collectPlan(plan, cluster_->config().seed, metrics_,
+                        journal_ != nullptr ? &hooks : nullptr);
+        }
 
         // Bulk data path goes to the striped stores concurrently;
-        // only the small sequenced tail rides the commit log.
+        // only the small sequenced tail rides the commit log. With a
+        // journal attached, the publish is captured here (pure, still
+        // concurrent) but journaled AND applied inside the sequenced
+        // action, so WAL publish order equals global id order and the
+        // kPublish append precedes every store/ledger write.
         TraceReport report;
+        PublishEffects fx;
         bool completed = plan.outcome == RequestPhase::kRunning;
         if (completed) {
-            StripedSink sink(oss_, odps_, *metrics_);
-            report = publishRequest(plan, sink);
+            if (journal_ != nullptr) {
+                fx = capturePublish(plan);
+            } else {
+                StripedSink sink(oss_, odps_, *metrics_);
+                report = publishRequest(plan, sink);
+            }
         }
 
         std::uint64_t sessions = plan.sessions.size();
@@ -229,11 +252,23 @@ ShardedMaster::reconcileShard(std::size_t index,
         std::size_t applied = log_.commit(
             seq_of.at(id),
             [this, &shard, req, completed, sessions, period,
-             report = std::move(report)]() mutable {
+             report = std::move(report),
+             fx = std::move(fx)]() mutable {
                 if (!completed)
                     return;  // failed during planning: stays kFailed
-                ledger_.recordRequest(req->app, sessions, period,
-                                      report.total_trace_bytes);
+                if (journal_ != nullptr) {
+                    journal_->onPublish(req->id, fx);
+                    StripedSink sink(oss_, odps_, *metrics_);
+                    applyPublish(fx, sink);
+                    report = std::move(fx.report);
+                    ledger_.recordRequest(fx.ledger.app,
+                                          fx.ledger.sessions,
+                                          fx.ledger.period,
+                                          fx.ledger.trace_bytes);
+                } else {
+                    ledger_.recordRequest(req->app, sessions, period,
+                                          report.total_trace_bytes);
+                }
                 {
                     // The phase flip must ride the same lock as the
                     // report registration: this action may run on
@@ -281,6 +316,46 @@ ShardedMaster::recordSessionMetrics(const ExperimentResult &result)
     metrics_->counter("decode.cache.bytes")
         .add(result.decode_cache_bytes);
     metrics_->counter("sessions.run").add();
+}
+
+ControlStateDump
+ShardedMaster::dumpState() const
+{
+    ControlStateDump dump;
+    dump.next_id = log_.lastAllocatedId() + 1;
+    for (const auto &sp : shards_) {
+        Shard &shard = *sp;
+        MutexLock lk(shard.mu);
+        for (const auto &[id, req] : shard.requests)
+            dump.requests.emplace(id, req);
+        for (const auto &[id, report] : shard.reports)
+            dump.reports.emplace(id, report);
+    }
+    dump.ledger = ledger_;
+    dump.objects = oss_.allObjects();
+    dump.rows = odps_.allRows();
+    return dump;
+}
+
+void
+ShardedMaster::restoreForRecovery(const ControlStateDump &dump)
+{
+    log_.restoreNextId(dump.next_id);
+    for (const auto &[id, req] : dump.requests) {
+        Shard &shard = shardFor(id);
+        MutexLock lk(shard.mu);
+        shard.requests.insert_or_assign(id, req);
+    }
+    for (const auto &[id, report] : dump.reports) {
+        Shard &shard = shardFor(id);
+        MutexLock lk(shard.mu);
+        shard.reports.insert_or_assign(id, report);
+    }
+    ledger_ = dump.ledger;
+    for (const auto &[key, bytes] : dump.objects)
+        oss_.put(key, bytes);
+    for (const TraceRow &row : dump.rows)
+        odps_.insert(row);
 }
 
 Master::Footprint

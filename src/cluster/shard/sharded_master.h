@@ -91,6 +91,22 @@ class ShardedMaster
      *  telemetry for the sharded plane). */
     Master::Footprint managementFootprint() const;
 
+    /**
+     * Attach the durability journal (cluster/control_journal.h).
+     * Admission/plan hooks run WAL-before-state on the shard lanes;
+     * publish effects are journaled inside the sequenced commit
+     * action, so WAL publish order equals global id order. nullptr
+     * detaches.
+     */
+    void attachJournal(ControlJournal *journal) { journal_ = journal; }
+
+    /** Full state image at a quiesced boundary (snapshot barrier):
+     *  shard maps merged, stores in their deterministic sorted view. */
+    ControlStateDump dumpState() const;
+    /** Recovery-only: install a recovered image wholesale (requests
+     *  and reports re-partitioned onto this instance's shards). */
+    void restoreForRecovery(const ControlStateDump &dump);
+
   private:
     /** One API-server shard: owns the requests/reports with
      *  id % shardCount() == its index. The lock guards the maps'
@@ -121,6 +137,7 @@ class ShardedMaster
     RepetitionAwareCoverageOptimizer rco_;
     int threads_;
     metrics::Registry *metrics_;
+    ControlJournal *journal_ = nullptr;
     std::vector<std::unique_ptr<Shard>> shards_;
     CommitLog log_;
     CoverageLedger ledger_;  ///< mutated only inside sequenced commits

@@ -86,6 +86,23 @@ StripedObjectStore::objectCount() const
     return total;
 }
 
+std::vector<std::pair<std::string, std::vector<std::uint8_t>>>
+StripedObjectStore::allObjects() const
+{
+    std::vector<std::pair<std::string, std::vector<std::uint8_t>>> out;
+    for (const auto &sp : stripes_) {
+        Stripe &s = *sp;
+        MutexLock lk(s.mu);
+        for (const auto &[key, bytes] : s.store.objects())
+            out.emplace_back(key, bytes);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return out;
+}
+
 StripedOdpsTable::StripedOdpsTable(int stripes)
 {
     EXIST_ASSERT(stripes > 0, "stripe count must be positive");
@@ -143,6 +160,25 @@ StripedOdpsTable::queryRequest(std::uint64_t request_id) const
     MutexLock lk(s.mu);
     std::vector<const TraceRow *> out = s.table.queryRequest(request_id);
     sortRows(out);
+    return out;
+}
+
+std::vector<TraceRow>
+StripedOdpsTable::allRows() const
+{
+    std::vector<TraceRow> out;
+    for (const auto &sp : stripes_) {
+        Stripe &s = *sp;
+        MutexLock lk(s.mu);
+        for (const TraceRow &row : s.table.rows())
+            out.push_back(row);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceRow &a, const TraceRow &b) {
+                  if (a.request_id != b.request_id)
+                      return a.request_id < b.request_id;
+                  return a.node < b.node;
+              });
     return out;
 }
 

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/storage.h"
@@ -41,6 +42,11 @@ class StripedObjectStore
     std::uint64_t totalBytes() const;
     std::size_t objectCount() const;
     int stripeCount() const { return static_cast<int>(stripes_.size()); }
+
+    /** Every (key, bytes) across all stripes, sorted by key — the
+     *  deterministic view durability snapshots serialize. */
+    std::vector<std::pair<std::string, std::vector<std::uint8_t>>>
+    allObjects() const;
 
   private:
     struct Stripe {
@@ -73,6 +79,10 @@ class StripedOdpsTable
 
     std::size_t rowCount() const;
     int stripeCount() const { return static_cast<int>(stripes_.size()); }
+
+    /** Every row across all stripes, sorted by (request_id, node) —
+     *  the deterministic view durability snapshots serialize. */
+    std::vector<TraceRow> allRows() const;
 
   private:
     struct Stripe {

@@ -36,6 +36,13 @@ class ObjectStore
     std::uint64_t totalBytes() const { return total_bytes_; }
     std::size_t objectCount() const { return objects_.size(); }
 
+    /** Full key-sorted view (durability snapshots serialize this). */
+    const std::map<std::string, std::vector<std::uint8_t>> &
+    objects() const
+    {
+        return objects_;
+    }
+
   private:
     std::map<std::string, std::vector<std::uint8_t>> objects_;
     std::uint64_t total_bytes_ = 0;
@@ -64,6 +71,10 @@ class OdpsTable
     std::vector<const TraceRow *>
     queryRequest(std::uint64_t request_id) const;
     std::size_t rowCount() const { return rows_.size(); }
+
+    /** Full insertion-order view (durability snapshots serialize
+     *  this; restoring by re-insert preserves the order). */
+    const std::vector<TraceRow> &rows() const { return rows_; }
 
   private:
     std::vector<TraceRow> rows_;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/rng.h"
@@ -108,6 +109,23 @@ class CoverageLedger
     std::uint64_t totalRequests() const { return total_requests_; }
     std::uint64_t totalSessions() const { return total_sessions_; }
     std::size_t appCount() const { return apps_.size(); }
+
+    /** Full per-app view (durability snapshots serialize this). */
+    const std::map<std::string, AppCoverage> &apps() const
+    {
+        return apps_;
+    }
+
+    /** Recovery-only: install totals wholesale from a snapshot image
+     *  (recordRequest would double-count replayed deltas). */
+    void
+    restore(std::map<std::string, AppCoverage> apps,
+            std::uint64_t total_requests, std::uint64_t total_sessions)
+    {
+        apps_ = std::move(apps);
+        total_requests_ = total_requests;
+        total_sessions_ = total_sessions;
+    }
 
     bool operator==(const CoverageLedger &) const = default;
 

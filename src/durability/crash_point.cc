@@ -1,0 +1,116 @@
+#include "durability/crash_point.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace exist::durability::crashpoint {
+
+namespace {
+
+[[noreturn]] void
+defaultHandler(const std::string &point)
+{
+    // A real crash for subprocess tests: flush nothing, run no
+    // destructors — only bytes already fsynced/flushed to the WAL
+    // survive, which is exactly the guarantee recovery must meet.
+    std::fprintf(stderr, "crash-point: dying at '%s'\n", point.c_str());
+    std::fflush(stderr);
+    std::_Exit(42);
+}
+
+// Armed spec, parsed. `point` empty means step mode. Writes happen
+// only from arm()/disarm() between runs; hit() readers use the atomic
+// `armed_` gate first, so torn reads of the strings cannot occur
+// while a run is in flight.
+std::string armed_point;
+std::uint64_t armed_count = 1;
+std::atomic<bool> armed_flag{false};
+std::atomic<std::uint64_t> point_hits{0};  ///< crossings of armed_point
+std::atomic<std::uint64_t> step_count{0};
+std::atomic<Handler> handler{&defaultHandler};
+
+}  // namespace
+
+void
+arm(const std::string &spec)
+{
+    if (spec.empty()) {
+        disarm();
+        return;
+    }
+    std::string point = spec;
+    std::uint64_t count = 1;
+    if (auto colon = spec.rfind(':'); colon != std::string::npos) {
+        point = spec.substr(0, colon);
+        count = std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
+        EXIST_ASSERT(count > 0, "crash-point count must be >= 1 in '%s'",
+                     spec.c_str());
+    }
+    if (point == "step") {
+        armed_point.clear();
+    } else {
+        armed_point = point;
+    }
+    armed_count = count;
+    point_hits.store(0, std::memory_order_relaxed);
+    step_count.store(0, std::memory_order_relaxed);
+    armed_flag.store(true, std::memory_order_release);
+}
+
+void
+disarm()
+{
+    armed_flag.store(false, std::memory_order_release);
+    armed_point.clear();
+    armed_count = 1;
+    point_hits.store(0, std::memory_order_relaxed);
+}
+
+bool
+armed()
+{
+    return armed_flag.load(std::memory_order_acquire);
+}
+
+Handler
+setHandler(Handler h)
+{
+    return handler.exchange(h != nullptr ? h : &defaultHandler);
+}
+
+std::uint64_t
+steps()
+{
+    return step_count.load(std::memory_order_relaxed);
+}
+
+void
+resetSteps()
+{
+    step_count.store(0, std::memory_order_relaxed);
+}
+
+void
+hit(const char *point)
+{
+    std::uint64_t step =
+        step_count.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (!armed_flag.load(std::memory_order_acquire))
+        return;
+    if (armed_point.empty()) {  // step mode
+        if (step == armed_count)
+            handler.load()(std::string("step:") + point);
+        return;
+    }
+    if (armed_point != point)
+        return;
+    std::uint64_t nth =
+        point_hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (nth == armed_count)
+        handler.load()(armed_point);
+}
+
+}  // namespace exist::durability::crashpoint

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Durability knobs a TraceRequest / experiment can ask for. Kept
+ * header-only and dependency-free so analysis/testbed.h can embed it
+ * the same way it embeds net::NetSpec: Testbed::run itself ignores
+ * durability — journaling is applied by the cluster layer
+ * (durability/journal.h) around the control-plane mutations, so the
+ * analysis layer stays independent of the durability plane.
+ */
+#ifndef EXIST_DURABILITY_SPEC_H
+#define EXIST_DURABILITY_SPEC_H
+
+#include <cstdint>
+#include <string>
+
+namespace exist::durability {
+
+struct DurabilitySpec {
+    /** Directory holding WAL segments + snapshots; empty = durability
+     *  off (the historical in-memory-only control plane). */
+    std::string wal_dir;
+    /** Take a snapshot after this many publishes since the last one
+     *  (0 = never snapshot; recovery then replays the whole WAL). */
+    std::uint64_t snapshot_interval = 8;
+
+    bool enabled() const { return !wal_dir.empty(); }
+};
+
+}  // namespace exist::durability
+
+#endif  // EXIST_DURABILITY_SPEC_H

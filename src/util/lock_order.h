@@ -25,7 +25,7 @@
  *
  * The lock hierarchy (acquire downward only — see DESIGN.md §8):
  *   pool < decode queue < decode core < agent queue < commit log
- *        < ingest < shard < store < metrics < leaf
+ *        < ingest < shard < wal < store < metrics < leaf
  */
 #ifndef EXIST_UTIL_LOCK_ORDER_H
 #define EXIST_UTIL_LOCK_ORDER_H
@@ -51,6 +51,9 @@ enum class LockRank : int {
     kCommitLog = 30,   ///< cluster/shard sequenced commit log
     kIngest = 35,      ///< cluster/ingest reassembly + dedup state
     kShard = 40,       ///< ShardedMaster per-shard API-server state
+    kWal = 45,         ///< durability WAL appender (taken inside
+                       ///< commit actions and shard/ingest callbacks,
+                       ///< before any store/metrics acquire)
     kStore = 50,       ///< striped OSS/ODPS stripe locks
     kMetrics = 60,     ///< metrics registry stripe locks
     kLeaf = 100,       ///< caches etc. held across no other acquire

@@ -3,14 +3,24 @@
  * Property/fuzz tests: randomized inputs against invariants that must
  * hold for any input — byte conservation in ToPA, parser termination
  * on arbitrary bytes, writer/parser agreement on random packet
- * sequences, and CRD manifest round-trips.
+ * sequences, CRD manifest round-trips, and the durability plane's
+ * loud-failure contract: a corrupted WAL or snapshot (bit flips,
+ * torn tails, duplicated segments) must either recover to a
+ * byte-identical id-order prefix of the golden log or fail with an
+ * explicit error — never crash, never silently diverge.
  */
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 
 #include "cluster/crd.h"
 #include "decode/packet_parser.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
 #include "hwtrace/packet_writer.h"
 #include "hwtrace/topa.h"
 #include "net/frame.h"
@@ -298,6 +308,245 @@ TEST(Fuzz, CrdManifestRoundTrips)
         EXPECT_NEAR(again.core_sample_ratio, req.core_sample_ratio,
                     1e-6);
     }
+}
+
+// ----------------------------------------------------------------
+// Durability-plane corruption fuzz (DESIGN.md §12)
+// ----------------------------------------------------------------
+
+namespace fsys = std::filesystem;
+
+fsys::path
+fuzzDir(const std::string &tag)
+{
+    static int counter = 0;
+    fsys::path p = fsys::temp_directory_path() /
+                   ("exist_fuzz_" + std::to_string(::getpid()) + "_" +
+                    tag + "_" + std::to_string(counter++));
+    fsys::remove_all(p);
+    fsys::create_directories(p);
+    return p;
+}
+
+std::vector<std::uint8_t>
+slurp(const fsys::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    return std::vector<std::uint8_t>(
+        std::istreambuf_iterator<char>(in),
+        std::istreambuf_iterator<char>());
+}
+
+void
+spit(const fsys::path &p, const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+void
+copyDir(const fsys::path &from, const fsys::path &to)
+{
+    fsys::remove_all(to);
+    fsys::create_directories(to);
+    for (const auto &e : fsys::directory_iterator(from))
+        fsys::copy_file(e.path(), to / e.path().filename());
+}
+
+/** A small multi-segment golden WAL of admit records. */
+std::vector<durability::WalRecord>
+buildGoldenWal(const fsys::path &dir, int records)
+{
+    durability::Wal wal(durability::Wal::Config{dir.string(), 96});
+    durability::WalRecord meta;
+    meta.type = durability::RecordType::kMeta;
+    meta.meta.cluster_seed = 3;
+    meta.meta.num_nodes = 4;
+    meta.meta.cores_per_node = 2;
+    meta.meta.deployments = {{"Cache", 3}};
+    wal.append(meta);
+    for (int i = 1; i < records; ++i) {
+        durability::WalRecord rec;
+        rec.type = durability::RecordType::kAdmit;
+        rec.request_id = static_cast<std::uint64_t>(i);
+        rec.manifest = "app=Cache anomaly=true budget_mb=" +
+                       std::to_string(64 + i);
+        wal.append(rec);
+    }
+    durability::Wal::ReplayResult golden =
+        durability::Wal::replay(dir.string(), 1);
+    EXPECT_TRUE(golden.ok) << golden.error;
+    EXPECT_EQ(golden.records.size(),
+              static_cast<std::size_t>(records));
+    return golden.records;
+}
+
+/** The invariant every corruption must preserve: replay yields an
+ *  exact LSN-order prefix of the golden records, or an explicit
+ *  error. */
+void
+expectPrefixOrLoudError(
+    const durability::Wal::ReplayResult &rr,
+    const std::vector<durability::WalRecord> &golden)
+{
+    if (!rr.ok) {
+        EXPECT_FALSE(rr.error.empty());
+        return;
+    }
+    ASSERT_LE(rr.records.size(), golden.size());
+    for (std::size_t i = 0; i < rr.records.size(); ++i) {
+        const durability::WalRecord &got = rr.records[i];
+        const durability::WalRecord &want = golden[i];
+        ASSERT_EQ(got.lsn, want.lsn);
+        ASSERT_EQ(got.type, want.type);
+        ASSERT_EQ(got.request_id, want.request_id);
+        ASSERT_EQ(got.manifest, want.manifest);
+    }
+}
+
+TEST(Fuzz, WalBitFlipsRecoverPrefixOrFailLoudly)
+{
+    fsys::path golden_dir = fuzzDir("walflip_golden");
+    std::vector<durability::WalRecord> golden =
+        buildGoldenWal(golden_dir, 8);
+    std::vector<std::string> segs =
+        durability::Wal::listSegments(golden_dir.string());
+    ASSERT_GE(segs.size(), 2u);
+
+    Rng rng(505);
+    fsys::path work = fuzzDir("walflip_work");
+    for (int trial = 0; trial < 60; ++trial) {
+        copyDir(golden_dir, work);
+        std::vector<std::string> wsegs =
+            durability::Wal::listSegments(work.string());
+        // Flip 1-3 random bits across random segments.
+        int flips = 1 + static_cast<int>(rng.uniformInt(3));
+        for (int f = 0; f < flips; ++f) {
+            const std::string &seg =
+                wsegs[rng.uniformInt(wsegs.size())];
+            std::vector<std::uint8_t> bytes(slurp(seg));
+            ASSERT_FALSE(bytes.empty());
+            std::uint64_t at = rng.uniformInt(bytes.size());
+            bytes[at] ^= static_cast<std::uint8_t>(
+                1u << rng.uniformInt(8));
+            spit(seg, bytes);
+        }
+        expectPrefixOrLoudError(
+            durability::Wal::replay(work.string(), 1), golden);
+    }
+    fsys::remove_all(golden_dir);
+    fsys::remove_all(work);
+}
+
+TEST(Fuzz, WalTornTailsRecoverPrefixOrFailLoudly)
+{
+    fsys::path golden_dir = fuzzDir("waltorn_golden");
+    std::vector<durability::WalRecord> golden =
+        buildGoldenWal(golden_dir, 8);
+
+    Rng rng(606);
+    fsys::path work = fuzzDir("waltorn_work");
+    for (int trial = 0; trial < 30; ++trial) {
+        copyDir(golden_dir, work);
+        std::vector<std::string> wsegs =
+            durability::Wal::listSegments(work.string());
+        // Truncate a random segment at a random length; on the last
+        // segment that is a clean torn tail, mid-log it loses
+        // records and must fail.
+        std::size_t victim = rng.uniformInt(wsegs.size());
+        std::uint64_t size = fsys::file_size(wsegs[victim]);
+        fsys::resize_file(wsegs[victim], rng.uniformInt(size));
+
+        durability::Wal::ReplayResult rr =
+            durability::Wal::replay(work.string(), 1);
+        expectPrefixOrLoudError(rr, golden);
+        if (victim + 1 < wsegs.size())
+            EXPECT_FALSE(rr.ok) << "mid-log truncation must be loud";
+    }
+    fsys::remove_all(golden_dir);
+    fsys::remove_all(work);
+}
+
+TEST(Fuzz, WalDuplicatedSegmentsNeverSilentlyDiverge)
+{
+    fsys::path golden_dir = fuzzDir("waldup_golden");
+    std::vector<durability::WalRecord> golden =
+        buildGoldenWal(golden_dir, 8);
+
+    Rng rng(707);
+    fsys::path work = fuzzDir("waldup_work");
+    for (int trial = 0; trial < 20; ++trial) {
+        copyDir(golden_dir, work);
+        std::vector<std::string> wsegs =
+            durability::Wal::listSegments(work.string());
+        // Duplicate a random segment under a fresh name whose LSN
+        // slots after the log: the header no longer matches the
+        // name, which replay must reject (re-delivered-bytes shape).
+        const std::string &src = wsegs[rng.uniformInt(wsegs.size())];
+        char name[64];
+        std::snprintf(name, sizeof name, "wal-%016llx.seg",
+                      (unsigned long long)(100 + trial));
+        fsys::copy_file(src, work / name);
+
+        durability::Wal::ReplayResult rr =
+            durability::Wal::replay(work.string(), 1);
+        expectPrefixOrLoudError(rr, golden);
+        EXPECT_FALSE(rr.ok) << "mismatched segment must be loud";
+    }
+    fsys::remove_all(golden_dir);
+    fsys::remove_all(work);
+}
+
+TEST(Fuzz, SnapshotBitFlipsLoadIntactOrFallBack)
+{
+    fsys::path dir = fuzzDir("snapflip");
+    durability::SnapshotState older;
+    older.meta.cluster_seed = 3;
+    older.meta.num_nodes = 4;
+    older.meta.cores_per_node = 2;
+    older.meta.deployments = {{"Cache", 3}};
+    older.barrier_lsn = 4;
+    older.dump.next_id = 2;
+    durability::SnapshotState newer = older;
+    newer.barrier_lsn = 9;
+    newer.dump.next_id = 5;
+    newer.dump.objects = {{"traces/4/n2", {7, 7, 7}}};
+
+    std::string error;
+    ASSERT_TRUE(writeSnapshot(dir.string(), older, &error)) << error;
+    ASSERT_TRUE(writeSnapshot(dir.string(), newer, &error)) << error;
+    auto snaps = durability::listSnapshots(dir.string());
+    ASSERT_EQ(snaps.size(), 2u);
+    std::vector<std::uint8_t> newest(slurp(snaps[1].second));
+
+    Rng rng(808);
+    for (int trial = 0; trial < 40; ++trial) {
+        std::vector<std::uint8_t> bytes = newest;
+        std::uint64_t at = rng.uniformInt(bytes.size());
+        bytes[at] ^=
+            static_cast<std::uint8_t>(1u << rng.uniformInt(8));
+        spit(snaps[1].second, bytes);
+
+        durability::SnapshotLoad load =
+            durability::loadNewestSnapshot(dir.string());
+        ASSERT_TRUE(load.found);
+        // Either the flip was caught (fall back to the older
+        // barrier, reason recorded) or the image validated — in
+        // which case it must be bit-identical to what was written:
+        // a validated-but-diverged load would be silent corruption.
+        ASSERT_TRUE(load.ok) << load.error;
+        if (load.state.barrier_lsn == 9) {
+            EXPECT_EQ(load.state.dump.next_id, 5u);
+            EXPECT_EQ(load.state.dump.objects, newer.dump.objects);
+            EXPECT_EQ(load.state.meta, newer.meta);
+        } else {
+            EXPECT_EQ(load.state.barrier_lsn, 4u);
+            EXPECT_EQ(load.state.dump.next_id, 2u);
+            EXPECT_FALSE(load.error.empty());
+        }
+    }
+    fsys::remove_all(dir);
 }
 
 }  // namespace

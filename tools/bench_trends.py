@@ -12,6 +12,7 @@ Sets:
              + micro_bench (TNT-memo sweep)      -> BENCH_decode.json
     cluster  reconcile_throughput                -> BENCH_cluster.json
     net      collect_throughput                  -> BENCH_net.json
+    durability  recovery_time                    -> BENCH_durability.json
 
 micro_bench is a google-benchmark binary, not a "JSON "-line one: it is
 run with --benchmark_format=json filtered to the TNT-memo sweep, and
@@ -37,6 +38,7 @@ BENCH_SETS = {
     "decode": ["decode_throughput", "decode_latency", "micro_bench"],
     "cluster": ["reconcile_throughput"],
     "net": ["collect_throughput"],
+    "durability": ["recovery_time"],
 }
 
 # Binaries in GOOGLE_BENCHMARK_BENCHES speak google-benchmark's

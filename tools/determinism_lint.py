@@ -34,6 +34,15 @@ are the usual way that invariant rots, so this lint bans them outright:
                        stable id (block index, function id, name) or
                        sort by a value-derived field before emitting.
 
+  raw-file-io          fopen/freopen/std::ofstream/std::fstream
+                       outside src/durability/ and the cluster
+                       storage layer.  Durable bytes must flow
+                       through the WAL/snapshot code (checksummed,
+                       crash-point-instrumented, replay-validated);
+                       ad-hoc file writes elsewhere create state that
+                       recovery cannot see and reports must never
+                       depend on.
+
 Suppression, narrowest first:
   * an inline `// lint-allow: <rule>` comment on the offending line;
   * a `path:rule` line in tools/determinism_lint_allow.txt.
@@ -77,6 +86,14 @@ RAW_LOCKING_WRAPPERS = (
 
 RNG_HOME = "src/util/rng.h"
 
+# The only places allowed to touch files directly: the durability
+# plane (WAL + snapshots own all persistent bytes) and the simulated
+# cluster storage layer.
+FILE_IO_HOMES = (
+    "src/durability/",
+    "src/cluster/storage",
+)
+
 RULES = [
     (
         "raw-rand",
@@ -112,6 +129,14 @@ RULES = [
             r"(?:const\s+)?[\w:]+(?:\s+const)?\s*\*"
         ),
         ORDERED_OUTPUT_DIRS,
+    ),
+    (
+        "raw-file-io",
+        re.compile(
+            r"\bfopen\s*\(|\bfreopen\s*\("
+            r"|\bstd::o?fstream\b"
+        ),
+        None,  # applies everywhere under src/ except FILE_IO_HOMES
     ),
     (
         "raw-locking",
@@ -213,6 +238,8 @@ def lint_file(path, rel, allowlist):
             if rule == "raw-rand" and rel == RNG_HOME:
                 continue
             if rule == "raw-locking" and rel in RAW_LOCKING_WRAPPERS:
+                continue
+            if rule == "raw-file-io" and rel.startswith(FILE_IO_HOMES):
                 continue
             if dirs is not None and not rel.startswith(dirs):
                 continue

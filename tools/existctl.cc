@@ -45,6 +45,22 @@
  *       cluster through a ShardedMaster recording into that registry,
  *       so the dump shows a live control plane.
  *
+ *   existctl trace <app> --wal DIR [--snapshot-interval K]
+ *                        [--crash-at P] [--shards N] ...
+ *       Durability mode (DESIGN.md §12): the control plane (serial
+ *       without --shards, sharded with) journals every mutation into
+ *       DIR's write-ahead log and snapshots every K publishes.
+ *       --crash-at arms a named crash point ("admit", "post-plan",
+ *       "ingest-frame", "pre-store", "mid-snapshot", "post-snapshot",
+ *       optionally ":n" for the nth crossing, or "step:N") — the
+ *       process dies there with exit code 42, leaving only the WAL.
+ *
+ *   existctl recover DIR [--threads N]
+ *       Recover the control plane from DIR: load the newest valid
+ *       snapshot, replay the WAL tail, re-plan whatever was in
+ *       flight, and print the reports — byte-identical on stdout to
+ *       the crash-free trace run. Recovery telemetry goes to stderr.
+ *
  * --threads N sets the decode/reconcile parallelism (default: hardware
  * concurrency; --threads 1 is the fully serial path). The output is
  * bit-identical at any thread or shard count — they only change wall
@@ -65,6 +81,9 @@
 #include "cluster/shard/sharded_master.h"
 #include "core/exist_backend.h"
 #include "decode/parallel_decoder.h"
+#include "durability/crash_point.h"
+#include "durability/journal.h"
+#include "durability/recovery.h"
 #include "workload/app_profile.h"
 
 using namespace exist;
@@ -85,7 +104,11 @@ usage()
         "                      [--duplicate R] [--link-latency-us N]\n"
         "       existctl cluster <manifest>... [--threads N]\n"
         "       existctl metrics [<manifest>...] [--shards N]\n"
-        "                      [--threads N]\n",
+        "                      [--threads N]\n"
+        "       existctl trace <app> --wal DIR\n"
+        "                      [--snapshot-interval K] [--crash-at P]\n"
+        "                      [--shards N] ...\n"
+        "       existctl recover DIR [--threads N]\n",
         stderr);
     return 2;
 }
@@ -202,6 +225,157 @@ traceSharded(const std::string &app, double period_ms,
     return 0;
 }
 
+/** Shared tail of the WAL-journaled trace: submit everything first
+ *  (all admissions durable before any reconcile-time crash point),
+ *  reconcile once, snapshot if due, print. */
+template <typename MasterT>
+int
+runWalTrace(MasterT &master, durability::Journal &journal,
+            const std::string &manifest, int nrequests)
+{
+    master.attachJournal(&journal);
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < nrequests; ++i)
+        ids.push_back(master.apply(manifest));
+    master.reconcile();
+    journal.maybeSnapshot([&master] { return master.dumpState(); });
+    printReports(master, ids);
+    return 0;
+}
+
+/** `trace --wal DIR`: the demo deployment reconciled under the
+ *  durability journal (shards == 0 => the serial Master). stdout is
+ *  byte-identical to the same run without --wal. */
+int
+traceWal(const std::string &app, double period_ms,
+         std::uint64_t budget_mb, int shards, int threads,
+         bool decode_cache, int tnt_memo_bits, const net::NetSpec &net,
+         const std::string &wal_dir, std::uint64_t snapshot_interval,
+         const std::string &crash_at)
+{
+    ClusterConfig cc;
+    cc.num_nodes = 6;
+    cc.cores_per_node = 4;
+    Cluster cluster(cc);
+    cluster.deploy(app, 3);
+
+    durability::ClusterMeta meta;
+    meta.cluster_seed = cc.seed;
+    meta.num_nodes = cc.num_nodes;
+    meta.cores_per_node = cc.cores_per_node;
+    meta.shards = shards;
+    meta.snapshot_interval = snapshot_interval;
+    meta.deployments = {{app, 3}};
+
+    durability::DurabilitySpec dspec;
+    dspec.wal_dir = wal_dir;
+    dspec.snapshot_interval = snapshot_interval;
+    durability::Journal journal(dspec, meta,
+                                &metrics::Registry::global());
+
+    // wal= rides in the manifest to exercise the CRD key end to end;
+    // toManifest() omits it, so the printed request lines (and hence
+    // stdout) stay byte-comparable with a non-WAL golden run.
+    std::string manifest =
+        "app=" + app + " anomaly=true period_ms=" +
+        std::to_string(static_cast<long long>(period_ms)) +
+        " budget_mb=" + std::to_string(budget_mb);
+    if (!decode_cache)
+        manifest += " decode_cache=off";
+    if (tnt_memo_bits != 6)
+        manifest += " tnt_memo_bits=" + std::to_string(tnt_memo_bits);
+    manifest += netManifest(net);
+    manifest += " wal=" + wal_dir;
+
+    std::fprintf(stderr,
+                 "tracing '%s' under WAL %s (snapshot interval %llu, "
+                 "%d shard%s)%s%s\n",
+                 app.c_str(), wal_dir.c_str(),
+                 (unsigned long long)snapshot_interval, shards,
+                 shards == 1 ? "" : "s",
+                 crash_at.empty() ? "" : ", crash at ",
+                 crash_at.c_str());
+    if (!crash_at.empty())
+        durability::crashpoint::arm(crash_at);
+
+    if (shards == 0) {
+        Master master(&cluster, {}, threads);
+        return runWalTrace(master, journal, manifest, 4);
+    }
+    ShardedMaster master(&cluster, {}, shards, threads);
+    return runWalTrace(master, journal, manifest, 4);
+}
+
+/** `recover DIR`: rebuild the control plane the WAL describes and
+ *  finish what the crashed run left pending. */
+int
+cmdRecover(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    std::string dir = argv[0];
+    int threads = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc)
+            threads = std::atoi(argv[++i]);
+        else
+            return usage();
+    }
+
+    durability::RecoveryResult rec =
+        durability::recover(dir, &metrics::Registry::global());
+    if (!rec.ok) {
+        std::fprintf(stderr, "recovery failed: %s\n",
+                     rec.error.c_str());
+        return 1;
+    }
+    const durability::RecoveredState &st = rec.state;
+    std::fprintf(stderr,
+                 "recovered %llu WAL records (%.1f KB)%s, "
+                 "%llu publishes replayed, %llu requests to re-plan\n",
+                 (unsigned long long)st.telemetry.wal_records,
+                 st.telemetry.wal_bytes / 1024.0,
+                 st.telemetry.snapshot_used ? " + snapshot" : "",
+                 (unsigned long long)st.telemetry.replayed_publishes,
+                 (unsigned long long)st.telemetry.pending_requests);
+
+    ClusterConfig cc;
+    cc.num_nodes = st.meta.num_nodes;
+    cc.cores_per_node = st.meta.cores_per_node;
+    cc.seed = st.meta.cluster_seed;
+    Cluster cluster(cc);
+    for (const auto &[app, replicas] : st.meta.deployments)
+        cluster.deploy(app, replicas);
+
+    durability::DurabilitySpec dspec;
+    dspec.wal_dir = dir;
+    dspec.snapshot_interval = st.meta.snapshot_interval;
+    durability::Journal journal(dspec, st.meta,
+                                &metrics::Registry::global());
+    journal.setResume(st.resume);
+
+    std::vector<std::uint64_t> ids;
+    for (const auto &[id, req] : st.dump.requests)
+        ids.push_back(id);
+
+    if (st.meta.shards == 0) {
+        Master master(&cluster, {}, threads);
+        master.restoreForRecovery(st.dump);
+        master.attachJournal(&journal);
+        master.reconcile();
+        journal.maybeSnapshot([&master] { return master.dumpState(); });
+        printReports(master, ids);
+    } else {
+        ShardedMaster master(&cluster, {}, st.meta.shards, threads);
+        master.restoreForRecovery(st.dump);
+        master.attachJournal(&journal);
+        master.reconcile();
+        journal.maybeSnapshot([&master] { return master.dumpState(); });
+        printReports(master, ids);
+    }
+    return 0;
+}
+
 int
 cmdTrace(int argc, char **argv)
 {
@@ -220,6 +394,9 @@ cmdTrace(int argc, char **argv)
     int threads = 0;  // 0 = default pool (hardware concurrency)
     int shards = 0;   // 0 = single-node session (no control plane)
     net::NetSpec net;
+    std::string wal_dir;
+    std::uint64_t snapshot_interval = 8;
+    std::string crash_at;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -262,9 +439,19 @@ cmdTrace(int argc, char **argv)
             net.duplicate_rate = std::atof(next());
         else if (arg == "--link-latency-us")
             net.link_latency_us = std::atof(next());
+        else if (arg == "--wal")
+            wal_dir = next();
+        else if (arg == "--snapshot-interval")
+            snapshot_interval = std::strtoull(next(), nullptr, 10);
+        else if (arg == "--crash-at")
+            crash_at = next();
         else
             return usage();
     }
+    if (!wal_dir.empty())
+        return traceWal(app, period_ms, budget_mb, shards, threads,
+                        decode_cache, tnt_memo_bits, net, wal_dir,
+                        snapshot_interval, crash_at);
     if (shards > 0)
         return traceSharded(app, period_ms, budget_mb, shards, threads,
                             decode_cache, tnt_memo_bits, net);
@@ -454,5 +641,7 @@ main(int argc, char **argv)
         return cmdCluster(argc - 2, argv + 2);
     if (cmd == "metrics")
         return cmdMetrics(argc - 2, argv + 2);
+    if (cmd == "recover")
+        return cmdRecover(argc - 2, argv + 2);
     return usage();
 }
