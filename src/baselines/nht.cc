@@ -172,6 +172,12 @@ NhtBackend::collect()
         ct.bytes = pt->dump;
         out.push_back(std::move(ct));
     }
+    // bufs_ is hash-ordered; callers compare reports across runs, so
+    // hand traces back in a stable per-thread order.
+    std::sort(out.begin(), out.end(),
+              [](const CollectedTrace &a, const CollectedTrace &b) {
+                  return a.thread < b.thread;
+              });
     return out;
 }
 

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regression tests for defects surfaced by tools/analyzer
+ * (exist-analyzer).  Each test pins the concrete fix for a finding so
+ * the defect cannot quietly return once the allowlist or the checks
+ * evolve.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/testbed.h"
+#include "baselines/nht.h"
+#include "os/kernel.h"
+
+namespace exist {
+namespace {
+
+// exist-analyzer [determinism/unordered-taint-return], nht.cc:
+// NhtBackend::collect() used to return traces in unordered_map
+// iteration order, so per-thread reports compared across runs (or
+// across libstdc++ versions) in a scrambled order.  collect() must
+// hand traces back sorted by thread id.
+TEST(AnalyzerRegression, NhtCollectReturnsThreadSortedTraces)
+{
+    Kernel kernel(NodeConfig{.num_cores = 2, .seed = 13});
+    auto bin = Testbed::binaryForApp("om");
+    Process *proc = kernel.createProcess("om", bin, {});
+    // Enough threads that hash order and id order disagree with
+    // overwhelming probability.
+    for (int i = 0; i < 6; ++i)
+        kernel.startThread(kernel.createThread(proc, nullptr));
+    kernel.runFor(secondsToCycles(0.01));
+
+    NhtBackend backend;
+    SessionSpec spec;
+    spec.target = proc;
+    spec.period = secondsToCycles(0.1);
+    backend.start(kernel, spec);
+    kernel.runFor(spec.period + secondsToCycles(0.01));
+    backend.stop(kernel);
+
+    auto traces = backend.collect();
+    ASSERT_EQ(traces.size(), 6u);
+    std::vector<ThreadId> order;
+    for (const CollectedTrace &ct : traces)
+        order.push_back(ct.thread);
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()))
+        << "collect() must not leak unordered_map iteration order";
+    EXPECT_TRUE(std::adjacent_find(order.begin(), order.end()) ==
+                order.end())
+        << "one trace per thread";
+}
+
+}  // namespace
+}  // namespace exist

@@ -1,0 +1,131 @@
+"""Check 3: event-loop blocking ban.
+
+The simulated fabric and the sequenced publish path are both driven
+by single-threaded executors: sim/EventQueue callbacks and CommitLog
+sequenced actions. A blocking primitive reachable from either stalls
+every later event / every later sequence number, so the ban is on the
+*reachability*, not the primitive: the pass roots a BFS at every
+lambda handed to EventQueue::schedule{,After} or CommitLog::commit
+(following std::function callback slots and nested lambdas, but not
+ThreadPool tasks, which run on worker threads) and reports:
+
+  event-blocking-call  a condvar wait, sleep, file flush, thread
+                       join, or future wait on any reachable path
+  event-slow-mutex     acquiring a below-leaf-rank mutex that some
+                       critical section in the program holds *across*
+                       a blocking primitive — waiting on such a mutex
+                       can block the loop for as long as the blocking
+                       holder takes
+
+Plain short-hold mutex acquisitions stay legal: the event-driven core
+is allowed to synchronize, it is not allowed to wait on something
+unbounded. Deliberate exceptions (the WAL's flush-on-commit
+durability contract) are allowlisted with justifications rather than
+special-cased here.
+"""
+
+from __future__ import annotations
+
+from ast_model import CTX_COMMIT, CTX_EVENT, LOCK_RANKS, UNRANKED, Finding
+
+BLOCKING_CALL_TAILS = {
+    "fflush", "fsync", "fdatasync", "flush", "sleep_for", "sleep_until",
+    "usleep", "nanosleep", "join", "wait_for", "wait_until", "wait",
+}
+
+KIND_DESC = {
+    "condvar-wait": "condition-variable wait",
+    "sleep": "sleep",
+    "flush": "file flush",
+    "join": "thread join",
+    "future-wait": "future/timed wait",
+}
+
+
+def _tail(callee: str) -> str:
+    for sep in (".", "->", "::"):
+        if sep in callee:
+            callee = callee.rsplit(sep, 1)[-1]
+    return callee
+
+
+def _slow_mutexes(index) -> dict[str, tuple]:
+    """Mutex keys held across a blocking primitive anywhere in the
+    program, mapped to one witness (function, line)."""
+    slow: dict[str, tuple] = {}
+
+    def note(tails, f, line):
+        for h in tails:
+            decl = index.mutex_for_expr(h, f.cls)
+            if decl is not None:
+                slow.setdefault(decl.key, (f.qname, line))
+
+    for f in index.functions.values():
+        for site in f.calls:
+            if site.held and _tail(site.callee) in BLOCKING_CALL_TAILS:
+                note(site.held, f, site.line)
+        for op in f.lock_ops:
+            if op.op == "wait":
+                note([op.target] + list(op.held), f, op.line)
+    return slow
+
+
+def _path_str(path: tuple) -> str:
+    tails = [p.rsplit("::", 1)[-1] if "<lambda" not in p
+             else "<lambda@" + p.split("<lambda:")[1].split(":")[0] + ">"
+             for p in path]
+    if len(tails) > 5:
+        tails = tails[:2] + ["..."] + tails[-2:]
+    return " -> ".join(tails)
+
+
+def run(index) -> list[Finding]:
+    roots = [q for q, f in index.functions.items()
+             if f.context in (CTX_EVENT, CTX_COMMIT)]
+    if not roots:
+        return []
+    reach = index.reachable_from(roots)
+    slow = _slow_mutexes(index)
+    leaf = LOCK_RANKS["kLeaf"]
+
+    findings: list[Finding] = []
+    seen: set[tuple] = set()
+    for q, path in sorted(reach.items()):
+        f = index.functions[q]
+        ctx = index.functions[path[0]].context
+        where = ("EventQueue callback" if ctx == CTX_EVENT
+                 else "CommitLog action")
+        for b in f.blocks:
+            key = (f.file, b.line, "event-blocking-call")
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                check="event-block", rule="event-blocking-call",
+                file=f.file, line=b.line,
+                message=f"{KIND_DESC.get(b.kind, b.kind)} "
+                        f"('{b.detail}') is reachable from a {where} "
+                        f"[{_path_str(path)}]",
+                function=q))
+        for op in f.lock_ops:
+            if op.op not in ("acquire", "scoped"):
+                continue
+            decl = index.mutex_for_expr(op.target, f.cls)
+            if decl is None or decl.key not in slow:
+                continue
+            if decl.rank != UNRANKED and decl.rank >= leaf:
+                continue
+            key = (f.file, op.line, "event-slow-mutex")
+            if key in seen:
+                continue
+            seen.add(key)
+            wfn, wline = slow[decl.key]
+            findings.append(Finding(
+                check="event-block", rule="event-slow-mutex",
+                file=f.file, line=op.line,
+                message=f"acquires '{decl.key}', which "
+                        f"{wfn.rsplit('::', 1)[-1]}:{wline} holds "
+                        f"across a blocking call, from a {where} "
+                        f"[{_path_str(path)}]",
+                function=q))
+    return findings

@@ -1,0 +1,65 @@
+"""Check 5: wire/WAL exhaustiveness.
+
+Adding a frame or WAL record kind must not be able to half-land: the
+enumerator has to show up in *every* role of its protocol — encode,
+decode, symbolic name, replay/dispatch — or a node that emits the new
+kind produces bytes a peer (or recovery) silently drops.
+
+The role tables below name the handler functions by tail; a role with
+no handler present in the indexed program is skipped, which is what
+lets fixtures exercise one role at a time and keeps the check inert
+for, e.g., header-only builds.
+
+Rule: enum-role-missing (reported at the enum definition).
+"""
+
+from __future__ import annotations
+
+from ast_model import Finding
+
+# enum tail -> role -> handler-function tails whose bodies together
+# must mention every enumerator.
+ENUM_ROLES = {
+    "MsgType": {
+        "encode": ("encodeFrame", "seal"),
+        "decode": ("decodeFrame",),
+        "ingest-dispatch": ("onFrame",),
+    },
+    "RecordType": {
+        "encode": ("encodeRecord",),
+        "decode": ("decodeRecord",),
+        "name": ("recordTypeName",),
+        "replay": ("recover",),
+    },
+}
+
+
+def run(index) -> list[Finding]:
+    findings: list[Finding] = []
+    for enum_tail, roles in ENUM_ROLES.items():
+        edef = index.enums.get(enum_tail)
+        if edef is None:
+            continue
+        for role, fn_tails in sorted(roles.items()):
+            fns = []
+            for tail in fn_tails:
+                for qn in index.methods_by_tail.get(tail, []):
+                    fns.append(index.functions[qn])
+            if not fns:
+                continue
+            mentioned = set()
+            for f in fns:
+                for m in f.enum_mentions:
+                    if m.enum == enum_tail or \
+                            m.enum.endswith("::" + enum_tail):
+                        mentioned.add(m.enumerator)
+            for e in edef.enumerators:
+                if e not in mentioned:
+                    findings.append(Finding(
+                        check="exhaustive", rule="enum-role-missing",
+                        file=edef.file, line=edef.line,
+                        message=f"{edef.qname}::{e} has no handling "
+                                f"in the '{role}' role "
+                                f"({', '.join(fn_tails)}); the "
+                                "protocol would half-land"))
+    return findings

@@ -1,0 +1,65 @@
+"""Check 2: guarded-by completeness.
+
+The PR 4 annotations only help while they are present: a field added
+to a lock-bearing class after the annotation pass silently escapes
+both clang's -Wthread-safety (which warns on *annotated* members) and
+review. This pass closes the gap from the other side: any member of a
+class that owns an exist::Mutex, written at least once while one of
+the class's own mutexes is held, must carry EXIST_GUARDED_BY /
+EXIST_PT_GUARDED_BY.
+
+Exempt by construction: atomics (their own synchronization), const /
+static / constexpr members, condition variables, std::function
+callback slots (set at init, invoked through the owner's locking
+discipline), and locals that shadow member names.
+
+Rule: unguarded-member (reported at the member's declaration).
+"""
+
+from __future__ import annotations
+
+from ast_model import Finding
+
+
+def _related(cls: str, qname: str) -> bool:
+    """True when `cls` names `qname` or a class lexically enclosing
+    it, tolerant of namespace-qualification differences."""
+    if not cls:
+        return False
+    return ("::" + cls + "::") in ("::" + qname + "::")
+
+
+def run(index) -> list[Finding]:
+    findings: list[Finding] = []
+    for c in index.classes.values():
+        if not c.mutexes:
+            continue
+        own_mutexes = {m.name for m in c.mutexes}
+        members = {m.name: m for m in c.members}
+        flagged: set[str] = set()
+        for q, f in index.functions.items():
+            if not _related(f.cls, c.qname):
+                continue
+            for w in f.writes:
+                m = members.get(w.member)
+                if m is None or w.member in flagged:
+                    continue
+                if w.member in f.local_types:
+                    continue  # a local shadows the member name
+                if not (set(w.held) & own_mutexes):
+                    continue  # not a critical section of this class
+                if (m.guarded_by or m.pt_guarded_by or m.is_atomic or
+                        m.is_const or m.is_static or m.is_condvar or
+                        m.is_func_type):
+                    continue
+                flagged.add(w.member)
+                held = sorted(set(w.held) & own_mutexes)
+                findings.append(Finding(
+                    check="guarded-by", rule="unguarded-member",
+                    file=c.file, line=m.line,
+                    message=f"member '{c.qname}::{m.name}' is written "
+                            f"under {'/'.join(held)} "
+                            f"(e.g. {f.file}:{w.line}) but carries no "
+                            "EXIST_GUARDED_BY annotation",
+                    function=q))
+    return findings

@@ -1,0 +1,179 @@
+"""Token-level C++ lexer for the exist-analyzer frontends.
+
+Produces a flat token stream with accurate line numbers, plus a
+per-line comment map (inline `lint-allow:` suppressions live in
+comments, so they must survive lexing even though the parser proper
+never sees comment tokens).
+
+This is *not* a general C++ lexer; it is exact for the constructs the
+repo uses: // and /* */ comments, string/char literals with escapes,
+raw strings R"tag(...)tag", digraph-free punctuation, preprocessor
+lines (captured whole as PREPROC tokens so include graphs can be
+built), and line continuations.  Anything it cannot classify becomes a
+single-character PUNCT token, which keeps the downstream parser total:
+unknown syntax degrades to "no facts extracted", never to a crash.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+# Token kinds.
+ID = "id"
+NUM = "num"
+STR = "str"
+CHR = "chr"
+PUNCT = "punct"
+PREPROC = "preproc"
+
+_ID_START = re.compile(r"[A-Za-z_]")
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_NUM_RE = re.compile(r"(?:0[xX][0-9a-fA-F'.pP+\-]+|[0-9][0-9a-fA-F'.eEuUlLfFpPxXbB+\-]*)")
+_RAW_STR_RE = re.compile(r'R"([^()\s\\]{0,16})\(')
+
+# Multi-character punctuators, longest first so maximal munch holds.
+_PUNCTS = [
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=",
+    "==", "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=",
+]
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self):  # compact debugging aid
+        return f"{self.kind}:{self.text}@{self.line}"
+
+
+def lex(source: str):
+    """Return (tokens, comments) where comments maps line -> text of
+    every comment that starts on that line (concatenated)."""
+    tokens: list[Token] = []
+    comments: dict[int, str] = {}
+    i, n = 0, len(source)
+    line = 1
+
+    def note_comment(ln: int, text: str):
+        comments[ln] = comments.get(ln, "") + text
+
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "\\" and i + 1 < n and source[i + 1] == "\n":
+            line += 1
+            i += 2
+            continue
+        # Comments.
+        if c == "/" and i + 1 < n and source[i + 1] == "/":
+            end = source.find("\n", i)
+            if end < 0:
+                end = n
+            note_comment(line, source[i:end])
+            i = end
+            continue
+        if c == "/" and i + 1 < n and source[i + 1] == "*":
+            end = source.find("*/", i + 2)
+            if end < 0:
+                end = n
+            text = source[i : end + 2]
+            note_comment(line, text)
+            line += text.count("\n")
+            i = end + 2
+            continue
+        # Preprocessor line (only when # begins the logical line).
+        if c == "#":
+            j = i
+            while j < n:
+                if source[j] == "\\" and j + 1 < n and source[j + 1] == "\n":
+                    j += 2
+                    continue
+                if source[j] == "\n":
+                    break
+                j += 1
+            text = source[i:j]
+            tokens.append(Token(PREPROC, text, line))
+            line += text.count("\n")
+            i = j
+            continue
+        # Raw strings.
+        if c == "R" and (m := _RAW_STR_RE.match(source, i)):
+            tag = m.group(1)
+            close = ")" + tag + '"'
+            end = source.find(close, m.end())
+            if end < 0:
+                end = n
+            text = source[i : end + len(close)]
+            tokens.append(Token(STR, '""', line))
+            line += text.count("\n")
+            i = end + len(close)
+            continue
+        # Strings / chars (with escape handling).
+        if c == '"' or c == "'":
+            j = i + 1
+            while j < n:
+                if source[j] == "\\":
+                    j += 2
+                    continue
+                if source[j] == c:
+                    j += 1
+                    break
+                if source[j] == "\n":  # unterminated; bail at EOL
+                    break
+                j += 1
+            text = source[i:j]
+            tokens.append(Token(STR if c == '"' else CHR, text, line))
+            i = j
+            continue
+        # Identifiers / keywords.
+        if _ID_START.match(c):
+            m = _ID_RE.match(source, i)
+            tokens.append(Token(ID, m.group(0), line))
+            i = m.end()
+            continue
+        # Numbers.
+        if c.isdigit():
+            m = _NUM_RE.match(source, i)
+            tokens.append(Token(NUM, m.group(0), line))
+            i = m.end()
+            continue
+        # Punctuation, maximal munch.
+        for p in _PUNCTS:
+            if source.startswith(p, i):
+                tokens.append(Token(PUNCT, p, line))
+                i += len(p)
+                break
+        else:
+            tokens.append(Token(PUNCT, c, line))
+            i += 1
+    return tokens, comments
+
+
+def match_brace(tokens, open_index):
+    """Index of the PUNCT token closing the bracket at open_index
+    (handles (), {}, []).  Returns len(tokens) when unbalanced."""
+    pairs = {"(": ")", "{": "}", "[": "]"}
+    open_ch = tokens[open_index].text
+    close_ch = pairs[open_ch]
+    depth = 0
+    for k in range(open_index, len(tokens)):
+        t = tokens[k]
+        if t.kind != PUNCT:
+            continue
+        if t.text == open_ch:
+            depth += 1
+        elif t.text == close_ch:
+            depth -= 1
+            if depth == 0:
+                return k
+    return len(tokens)

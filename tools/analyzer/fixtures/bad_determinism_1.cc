@@ -1,0 +1,18 @@
+// analyzer-virtual-path: src/cluster/fixture_det_sink.cc
+// Serializing straight out of unordered_map iteration: byte output
+// depends on hash-table layout, breaking bit-identical reports.
+namespace exist {
+
+class ReportWriter {
+ public:
+  void serialize(net::ByteWriter &w) {
+    for (const auto &kv : index_) {
+      w.putU64(kv.second);
+    }
+  }
+
+ private:
+  std::unordered_map<unsigned long, unsigned long> index_;
+};
+
+}  // namespace exist

@@ -1,0 +1,21 @@
+// analyzer-virtual-path: src/fixture/event_block_sleep.cc
+// A sleep reachable from an EventQueue callback through an ordinary
+// method call: stalls every later event in the simulation.
+namespace exist {
+
+class Node {
+ public:
+  void start(sim::EventQueue &queue) {
+    queue.schedule(10, [this]() { tick(); });
+  }
+
+  void tick() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ticks_ = ticks_ + 1;
+  }
+
+ private:
+  long ticks_ = 0;
+};
+
+}  // namespace exist

@@ -1,0 +1,26 @@
+// analyzer-virtual-path: src/fixture/event_block_slow_mutex.cc
+// The commit action takes a mutex that another path holds across an
+// fflush: the action can block for as long as the flush takes.
+namespace exist {
+
+class Sink {
+ public:
+  void persist() {
+    MutexLock lk(mu_);
+    fflush(out_);  // mu_ held across a blocking flush
+  }
+
+  void publish(CommitLog &log, long seq) {
+    log.commit(seq, [this]() {
+      MutexLock lk(mu_);  // waits on the flush-holding mutex
+      seals_ = seals_ + 1;  // lint-allow: unguarded-member
+    });
+  }
+
+ private:
+  Mutex mu_{LockRank::kStore, "fixture.sink"};
+  FILE *out_ = nullptr;
+  long seals_ = 0;
+};
+
+}  // namespace exist

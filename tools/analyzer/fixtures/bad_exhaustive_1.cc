@@ -1,0 +1,35 @@
+// analyzer-virtual-path: src/net/fixture_proto_half.cc
+// kPing exists in the enum and decodes, but the encode role never
+// mentions it: a peer can receive what no node can send — the
+// half-landed protocol change the check exists to catch.
+namespace net {
+
+enum class MsgType : unsigned char {
+  kData = 1,
+  kAck = 2,
+  kPing = 3,
+};
+
+inline int encodeFrame(MsgType t) {
+  if (t == MsgType::kData) {
+    return 1;
+  }
+  if (t == MsgType::kAck) {
+    return 2;
+  }
+  return 0;  // kPing unhandled
+}
+
+inline int decodeFrame(unsigned char b) {
+  switch (static_cast<MsgType>(b)) {
+    case MsgType::kData:
+      return 1;
+    case MsgType::kAck:
+      return 2;
+    case MsgType::kPing:
+      return 3;
+  }
+  return 0;
+}
+
+}  // namespace net

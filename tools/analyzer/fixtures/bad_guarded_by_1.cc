@@ -1,0 +1,18 @@
+// analyzer-virtual-path: src/fixture/guarded_by_missing.cc
+// `hits_` is mutated inside the critical section but carries no
+// EXIST_GUARDED_BY, so -Wthread-safety will never watch it.
+namespace exist {
+
+class Counter {
+ public:
+  void bump() {
+    MutexLock lk(mu_);
+    hits_ = hits_ + 1;
+  }
+
+ private:
+  Mutex mu_{LockRank::kMetrics, "fixture.counter"};
+  long hits_ = 0;  // written under mu_ but unannotated
+};
+
+}  // namespace exist

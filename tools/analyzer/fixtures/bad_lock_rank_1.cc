@@ -1,0 +1,25 @@
+// analyzer-virtual-path: src/fixture/lock_rank_inversion.cc
+// A kStore holder reaching a kPool acquisition through a call chain:
+// the classic inversion the runtime validator only sees if a test
+// happens to execute both locks on one thread.
+namespace exist {
+
+class Publisher {
+ public:
+  void publish() {
+    MutexLock lk(store_mu_);
+    refill();  // transitively acquires pool_mu_ (kPool) under kStore
+  }
+
+  void refill() {
+    MutexLock lk(pool_mu_);
+    spare_ = spare_ + 1;  // lint-allow: unguarded-member
+  }
+
+ private:
+  Mutex store_mu_{LockRank::kStore, "fixture.store"};
+  Mutex pool_mu_{LockRank::kPool, "fixture.pool"};
+  long spare_ = 0;
+};
+
+}  // namespace exist

@@ -1,0 +1,18 @@
+// analyzer-virtual-path: src/fixture/lock_rank_unranked.cc
+// An exist::Mutex declared without naming its LockRank: invisible to
+// the hierarchy, so every edge through it goes unchecked.
+namespace exist {
+
+class Cache {
+ public:
+  void put(long v) {
+    MutexLock lk(mu_);
+    last_ = v;  // lint-allow: unguarded-member
+  }
+
+ private:
+  Mutex mu_;  // no LockRank
+  long last_ = 0;
+};
+
+}  // namespace exist

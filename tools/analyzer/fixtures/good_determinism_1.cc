@@ -1,0 +1,30 @@
+// analyzer-virtual-path: src/cluster/fixture_det_ok.cc
+// The sanctioned shapes: serialize from an ordered map, or collect
+// from an unordered one and sort before emitting.
+namespace exist {
+
+class ReportWriter {
+ public:
+  void serialize(net::ByteWriter &w) {
+    for (const auto &kv : ordered_) {
+      w.putU64(kv.second);
+    }
+  }
+
+  void serializeSorted(net::ByteWriter &w) {
+    std::vector<unsigned long> rows;
+    for (const auto &kv : index_) {
+      rows.push_back(kv.second);
+    }
+    std::sort(rows.begin(), rows.end());
+    for (unsigned long v : rows) {
+      w.putU64(v);
+    }
+  }
+
+ private:
+  std::map<unsigned long, unsigned long> ordered_;
+  std::unordered_map<unsigned long, unsigned long> index_;
+};
+
+}  // namespace exist

@@ -1,0 +1,29 @@
+// analyzer-virtual-path: src/fixture/event_block_ok.cc
+// Short-hold synchronization inside an event callback is legal: no
+// path from the callback reaches a blocking primitive, and nothing
+// holds mu_ across one.
+namespace exist {
+
+class Node {
+ public:
+  void start(sim::EventQueue &queue) {
+    queue.schedule(10, [this]() { tick(); });
+  }
+
+  void tick() {
+    MutexLock lk(mu_);
+    ticks_ = ticks_ + 1;
+  }
+
+  void slowMaintenance() {
+    // Blocking is fine on a plain thread as long as it does not
+    // overlap a mutex the event path takes.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+ private:
+  Mutex mu_{LockRank::kLeaf, "fixture.node"};
+  long ticks_ EXIST_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace exist

@@ -1,0 +1,36 @@
+// analyzer-virtual-path: src/net/fixture_proto_ok.cc
+// Every enumerator appears in every present role.
+namespace net {
+
+enum class MsgType : unsigned char {
+  kData = 1,
+  kAck = 2,
+  kPing = 3,
+};
+
+inline int encodeFrame(MsgType t) {
+  if (t == MsgType::kData) {
+    return 1;
+  }
+  if (t == MsgType::kAck) {
+    return 2;
+  }
+  if (t == MsgType::kPing) {
+    return 3;
+  }
+  return 0;
+}
+
+inline int decodeFrame(unsigned char b) {
+  switch (static_cast<MsgType>(b)) {
+    case MsgType::kData:
+      return 1;
+    case MsgType::kAck:
+      return 2;
+    case MsgType::kPing:
+      return 3;
+  }
+  return 0;
+}
+
+}  // namespace net

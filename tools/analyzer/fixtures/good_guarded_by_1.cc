@@ -1,0 +1,25 @@
+// analyzer-virtual-path: src/fixture/guarded_by_ok.cc
+// Annotated members, atomics, and locals shadowing member names are
+// all fine.
+namespace exist {
+
+class Counter {
+ public:
+  void bump() {
+    MutexLock lk(mu_);
+    hits_ = hits_ + 1;
+  }
+
+  void peek() {
+    long hits_ = 0;  // local shadow, not the member
+    hits_ = hits_ + 1;
+    (void)hits_;
+  }
+
+ private:
+  Mutex mu_{LockRank::kMetrics, "fixture.counter"};
+  long hits_ EXIST_GUARDED_BY(mu_) = 0;
+  std::atomic<long> fast_hits_{0};
+};
+
+}  // namespace exist

@@ -1,0 +1,24 @@
+// analyzer-virtual-path: src/fixture/lock_rank_ok.cc
+// Acquisitions that walk strictly up the hierarchy (kPool -> kStore)
+// are the sanctioned pattern.
+namespace exist {
+
+class Publisher {
+ public:
+  void publish() {
+    MutexLock lk(pool_mu_);
+    flush();
+  }
+
+  void flush() {
+    MutexLock lk(store_mu_);
+    total_ = total_ + 1;
+  }
+
+ private:
+  Mutex pool_mu_{LockRank::kPool, "fixture.pool"};
+  Mutex store_mu_{LockRank::kStore, "fixture.store"};
+  long total_ EXIST_GUARDED_BY(store_mu_) = 0;
+};
+
+}  // namespace exist

@@ -45,7 +45,17 @@ are the usual way that invariant rots, so this lint bans them outright:
 
 Suppression, narrowest first:
   * an inline `// lint-allow: <rule>` comment on the offending line;
-  * a `path:rule` line in tools/determinism_lint_allow.txt.
+  * a `path:rule` line in tools/analysis_allow.txt (shared with
+    tools/analyzer/exist_analyzer.py, so one justified waiver covers
+    both the regex and the AST layer).
+
+This lint is the fast regex layer; tools/analyzer/exist_analyzer.py
+re-implements the unordered-iteration, pointer-keyed-container, and
+raw-locking rules as alias- and dataflow-aware AST passes.  Where the
+analyzer also runs, pass `--defer-to-analyzer`: those three rules are
+then reported as warnings only (the AST layer is the gate), while the
+purely lexical rules (raw-rand, time-seeded-rng, raw-file-io) stay
+hard failures here.
 
 Exit status: 0 = clean, 1 = findings, 2 = usage/internal error.
 
@@ -149,8 +159,17 @@ RULES = [
     ),
 ]
 
+# Rules that tools/analyzer/exist_analyzer.py re-implements as
+# AST-accurate passes; with --defer-to-analyzer they demote to
+# warnings and the AST layer is the gate.
+ANALYZER_SUPERSEDED = {
+    "unordered-iteration",
+    "pointer-keyed-container",
+    "raw-locking",
+}
+
 ALLOW_RE = re.compile(r"//\s*lint-allow:\s*([\w,\- ]+)")
-VPATH_RE = re.compile(r"^//\s*lint-virtual-path:\s*(\S+)")
+VPATH_RE = re.compile(r"^//\s*(?:lint|analyzer)-virtual-path:\s*(\S+)")
 
 
 def strip_code(line, in_block):
@@ -324,14 +343,20 @@ def main(argv):
     )
     parser.add_argument(
         "--allowlist",
-        default=os.path.join(
-            REPO_ROOT, "tools", "determinism_lint_allow.txt"
-        ),
+        default=os.path.join(REPO_ROOT, "tools", "analysis_allow.txt"),
+        help="path:rule waiver file shared with exist_analyzer",
     )
     parser.add_argument(
         "--self-test",
         action="store_true",
         help="verify the rules against tools/lint_fixtures/",
+    )
+    parser.add_argument(
+        "--defer-to-analyzer",
+        action="store_true",
+        help="report AST-superseded rules (%s) as warnings only; "
+        "tools/analyzer/exist_analyzer.py is their gate"
+        % ", ".join(sorted(ANALYZER_SUPERSEDED)),
     )
     args = parser.parse_args(argv)
 
@@ -349,13 +374,21 @@ def main(argv):
             )
             return 2
     findings = run_lint(roots, allowlist)
+    hard = []
     for rel, lineno, rule, line in findings:
-        print("%s:%d: [%s] %s" % (rel, lineno, rule, line))
-    if findings:
+        if args.defer_to_analyzer and rule in ANALYZER_SUPERSEDED:
+            print(
+                "%s:%d: [%s] (warning; exist-analyzer is the gate) %s"
+                % (rel, lineno, rule, line)
+            )
+        else:
+            hard.append((rel, lineno, rule, line))
+            print("%s:%d: [%s] %s" % (rel, lineno, rule, line))
+    if hard:
         sys.stderr.write(
             "determinism_lint: %d finding(s); fix them, add an inline "
             "`// lint-allow: <rule>` with a justification, or extend "
-            "tools/determinism_lint_allow.txt\n" % len(findings)
+            "tools/analysis_allow.txt\n" % len(hard)
         )
         return 1
     print("determinism_lint: clean (%s)" % ", ".join(roots))
