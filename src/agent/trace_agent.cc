@@ -3,9 +3,25 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace_plane.h"
 #include "util/logging.h"
 
 namespace exist::agent {
+
+namespace {
+
+/** Batch correlation id: derived only from (node, stream, seq), so the
+ *  master-side ingest mints the identical id without communication and
+ *  traces of the same seed correlate identically run to run. */
+std::uint64_t
+batchCorr(NodeId node, std::uint64_t stream, std::uint64_t seq)
+{
+    return obs::corrId(
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(node)),
+        stream, seq);
+}
+
+}  // namespace
 
 TraceAgent::TraceAgent(EventQueue *queue, net::Fabric *fabric,
                        NodeId node, NodeId collector, AgentConfig cfg)
@@ -117,6 +133,12 @@ TraceAgent::sendBatch(std::uint64_t stream_id, Stream &s,
     msg.batch_seq = seq;
     msg.total_batches = s.total_batches;
     msg.chunk = b.chunk;
+    std::uint64_t obs_corr = batchCorr(node_, stream_id, seq);
+    obs::simInstant("agent.batch", obs_corr, queue_->now(),
+                    static_cast<std::uint32_t>(node_),
+                    static_cast<std::uint32_t>(b.retries));
+    obs::simFlowBegin("collect.batch", obs_corr, queue_->now(),
+                      static_cast<std::uint32_t>(node_));
     fabric_->send(node_, collector_, net::encodeFrame(msg));
     if (b.retries == 0)
         stats_.batches_sent += 1;
@@ -168,6 +190,9 @@ TraceAgent::spill(std::uint64_t stream_id, Stream &s)
         s.degraded = true;
         stats_.streams_degraded += 1;
     }
+    obs::simInstant("agent.spill", obs::corrId(node_, stream_id),
+                    queue_->now(), static_cast<std::uint32_t>(node_),
+                    static_cast<std::uint32_t>(dropped));
     warn("agent %d: stream %llu spilled %llu batches "
          "(summarize-only fallback)",
          node_, (unsigned long long)stream_id,
@@ -186,6 +211,10 @@ TraceAgent::sendFinale(std::uint64_t stream_id, Stream &s)
     msg.degraded = s.degraded;
     msg.batches_spilled = s.batches_spilled;
     msg.summary = s.summary;
+    obs::simInstant("agent.finale",
+                    batchCorr(node_, stream_id, net::kFinaleSeq),
+                    queue_->now(), static_cast<std::uint32_t>(node_),
+                    static_cast<std::uint32_t>(s.finale_retries));
     fabric_->send(node_, collector_, net::encodeFrame(msg));
     s.finale_timer = queue_->scheduleAfter(
         rtoAfter(s.finale_retries),
@@ -297,6 +326,9 @@ TraceAgent::onHeartbeatTimer()
     hb.node = node_;
     hb.seq = ++heartbeat_seq_;
     hb.queue_depth = queueDepth();
+    obs::simInstant("agent.heartbeat", obs::corrId(node_, hb.seq),
+                    queue_->now(), static_cast<std::uint32_t>(node_),
+                    static_cast<std::uint32_t>(hb.queue_depth));
     fabric_->send(node_, collector_, net::encodeFrame(hb));
     stats_.heartbeats_sent += 1;
 

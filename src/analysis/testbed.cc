@@ -13,6 +13,7 @@
 #include "decode/parallel_decoder.h"
 #include "decode/streaming_decoder.h"
 #include "hwtrace/tracer.h"
+#include "obs/trace_plane.h"
 #include "os/loadgen.h"
 #include "os/service.h"
 #include "util/logging.h"
@@ -127,6 +128,7 @@ ExperimentResult
 Testbed::run(const ExperimentSpec &spec)
 {
     EXIST_ASSERT(!spec.workloads.empty(), "experiment needs workloads");
+    EXIST_SPAN("session.run", obs::corrId(spec.seed));
 
     NodeConfig node_cfg = spec.node;
     node_cfg.seed = spec.seed;
@@ -270,8 +272,12 @@ Testbed::run(const ExperimentSpec &spec)
     }
 
     // --- The measured window == the tracing period ------------------------
-    kernel.runFor(session.period);
-    backend->stop(kernel);
+    {
+        EXIST_SPAN("session.window",
+                   obs::corrId(spec.seed, session.period));
+        kernel.runFor(session.period);
+        backend->stop(kernel);
+    }
     if ((spec.ground_truth || spec.decode) && session.target)
         truth.disarm(kernel);
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cluster/session_payload.h"
+#include "obs/trace_plane.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -36,6 +37,7 @@ runCollection(const net::NetSpec &spec, std::uint64_t seed,
     out.ran = true;
     out.sessions = shipments.size();
 
+    EXIST_SPAN("collect.run", obs::corrId(seed, shipments.size()));
     EventQueue q;
     net::Fabric fabric(&q, spec, seed);
     IngestConfig icfg;

@@ -3,9 +3,32 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace_plane.h"
 #include "util/logging.h"
 
 namespace exist {
+
+namespace {
+
+/** Must mint the same id as the agent side (trace_agent.cc batchCorr)
+ *  so the flow link binds without any extra wire bytes. */
+std::uint64_t
+batchCorr(NodeId node, std::uint64_t stream, std::uint64_t seq)
+{
+    return obs::corrId(
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(node)),
+        stream, seq);
+}
+
+/** Clamp the collector's sentinel node id into the 16-bit obs field. */
+std::uint32_t
+obsNode(NodeId node)
+{
+    auto v = static_cast<std::uint64_t>(static_cast<std::int64_t>(node));
+    return v >= 0xffff ? 0xffffu : static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
 
 Ingest::Ingest(EventQueue *queue, net::Fabric *fabric, NodeId node,
                IngestConfig cfg)
@@ -85,6 +108,13 @@ Ingest::onBatch(const net::TraceRegionBatchMsg &msg)
         // The durability hook fires before each consume mutates the
         // payload (WAL-before-state), so a crash between them replays
         // the append instead of losing an acked batch.
+        std::uint64_t consume_corr =
+            batchCorr(msg.node, msg.stream, msg.batch_seq);
+        obs::simFlowEnd("collect.batch", consume_corr, queue_->now(),
+                        obsNode(node_));
+        obs::simInstant("ingest.consume", consume_corr, queue_->now(),
+                        obsNode(node_),
+                        static_cast<std::uint32_t>(msg.batch_seq));
         if (cfg_.on_consume)
             cfg_.on_consume(msg.node, msg.stream, msg.batch_seq,
                             s.total_batches, msg.chunk);
@@ -93,6 +123,10 @@ Ingest::onBatch(const net::TraceRegionBatchMsg &msg)
         s.cumulative += 1;
         auto it = s.held.begin();
         while (it != s.held.end() && it->first == s.cumulative) {
+            obs::simInstant("ingest.consume",
+                            batchCorr(msg.node, msg.stream, it->first),
+                            queue_->now(), obsNode(node_),
+                            static_cast<std::uint32_t>(it->first));
             if (cfg_.on_consume)
                 cfg_.on_consume(msg.node, msg.stream, it->first,
                                 s.total_batches, it->second);
@@ -112,6 +146,10 @@ Ingest::onReport(const net::BehaviorReportMsg &msg)
 {
     Stream &s = streams_[{msg.node, msg.stream}];
     if (!s.finale) {
+        obs::simInstant("ingest.finale",
+                        batchCorr(msg.node, msg.stream, net::kFinaleSeq),
+                        queue_->now(), obsNode(node_),
+                        msg.degraded ? 1u : 0u);
         s.finale = true;
         s.degraded = msg.degraded;
         s.batches_spilled = msg.batches_spilled;

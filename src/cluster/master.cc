@@ -5,6 +5,7 @@
 #include "cluster/control_journal.h"
 #include "cluster/metrics.h"
 #include "cluster/shard/plan.h"
+#include "obs/trace_plane.h"
 #include "runtime/thread_pool.h"
 #include "util/logging.h"
 
@@ -52,6 +53,7 @@ Master::submit(TraceRequest req)
     req.id = next_id_++;
     req.phase = RequestPhase::kPending;
     std::uint64_t id = req.id;
+    EXIST_SPAN("reconcile.admit", id);
     // WAL-before-state: the admission is durable before the API-server
     // map reflects it, so a crash here replays the insert.
     if (journal_ != nullptr)
@@ -90,6 +92,7 @@ Master::reconcile()
     std::vector<RequestPlan> plans;
     for (auto &[id, req] : requests_)
         if (req.phase == RequestPhase::kPending) {
+            EXIST_SPAN("reconcile.plan", id);
             plans.push_back(planRequest(cluster_, rco_, req, threads_));
             if (journal_ != nullptr)
                 journal_->onPlanned(id, plans.back().outcome);
@@ -108,6 +111,7 @@ Master::reconcile()
             jobs.push_back(&s);
 
     auto runJob = [&](std::size_t i) {
+        EXIST_SPAN("session.run", obs::corrId(jobs[i]->spec.seed, i));
         jobs[i]->result = Testbed::run(jobs[i]->spec);
     };
     if (threads_ == 1 || jobs.size() <= 1) {
@@ -149,6 +153,7 @@ Master::publishOne(RequestPlan &plan)
     if (req.phase != RequestPhase::kRunning)
         return;  // failed during planning
 
+    EXIST_SPAN("reconcile.publish", req.id);
     SerialSink sink(oss_, odps_);
     if (journal_ != nullptr) {
         // WAL-before-state, physically: capture the pure publish,

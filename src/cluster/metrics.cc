@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 namespace exist::metrics {
 
@@ -156,6 +157,38 @@ Registry::names() const
             out.push_back(name);
     }
     std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<Registry::Sample>
+Registry::samples() const
+{
+    std::vector<Sample> out;
+    for (const Stripe &s : stripes_) {
+        MutexLock lk(s.mu);
+        for (const auto &[name, c] : s.counters)
+            out.push_back(
+                {name, "counter", std::to_string(c->value())});
+        for (const auto &[name, g] : s.gauges)
+            out.push_back({name, "gauge", std::to_string(g->value())});
+        for (const auto &[name, h] : s.histograms) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "count=%llu mean=%.1f p50=%llu p99=%llu "
+                          "max=%llu",
+                          (unsigned long long)h->count(), h->mean(),
+                          (unsigned long long)h->percentile(0.50),
+                          (unsigned long long)h->percentile(0.99),
+                          (unsigned long long)h->max());
+            out.push_back({name, "histogram", buf});
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Sample &a, const Sample &b) {
+                  if (a.name != b.name)
+                      return a.name < b.name;
+                  return std::strcmp(a.type, b.type) < 0;
+              });
     return out;
 }
 

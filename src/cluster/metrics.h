@@ -119,6 +119,17 @@ class Registry
     /** All registered names (sorted), for dump/introspection. */
     std::vector<std::string> names() const;
 
+    /** One rendered metric for dump/`existctl top` views. */
+    struct Sample {
+        std::string name;
+        const char *type;   ///< "counter" | "gauge" | "histogram"
+        std::string value;  ///< rendered value (histograms: summary)
+    };
+
+    /** Snapshot every metric, sorted by scoped name (type breaks
+     *  ties), rendered for tabular display. */
+    std::vector<Sample> samples() const;
+
     /** Snapshot the whole registry as one JSON object, names sorted:
      *  {"counters":{...},"gauges":{...},"histograms":{...}}. */
     std::string toJson() const;

@@ -6,6 +6,7 @@
 #include "analysis/testbed.h"
 #include "cluster/collection.h"
 #include "cluster/control_journal.h"
+#include "obs/trace_plane.h"
 #include "runtime/thread_pool.h"
 #include "util/logging.h"
 
@@ -71,6 +72,7 @@ ShardedMaster::submit(TraceRequest req)
     req.id = log_.allocateId();
     req.phase = RequestPhase::kPending;
     std::uint64_t id = req.id;
+    EXIST_SPAN("reconcile.admit", id);
     // WAL-before-state: the admission is durable before the shard map
     // reflects it. Admits from different submitters may interleave in
     // the log; replay keys them by id, so the order is immaterial.
@@ -201,7 +203,10 @@ ShardedMaster::reconcileShard(std::size_t index,
         // longer writes the phase itself: every phase transition
         // happens under shard.mu, so concurrent phaseOf() readers
         // never race a bare store.
-        RequestPlan plan = planRequest(cluster_, rco_, *req, threads_);
+        RequestPlan plan = [&] {
+            EXIST_SPAN("reconcile.plan", id);
+            return planRequest(cluster_, rco_, *req, threads_);
+        }();
         if (journal_ != nullptr)
             journal_->onPlanned(id, plan.outcome);
         {
@@ -209,6 +214,7 @@ ShardedMaster::reconcileShard(std::size_t index,
             req->phase = plan.outcome;
         }
         for (SessionPlan &session : plan.sessions) {
+            EXIST_SPAN("session.run", obs::corrId(id, session.spec.seed));
             session.result = Testbed::run(session.spec);
             recordSessionMetrics(session.result);
         }
@@ -239,6 +245,7 @@ ShardedMaster::reconcileShard(std::size_t index,
         PublishEffects fx;
         bool completed = plan.outcome == RequestPhase::kRunning;
         if (completed) {
+            EXIST_SPAN("reconcile.publish", id);
             if (journal_ != nullptr) {
                 fx = capturePublish(plan);
             } else {
@@ -249,11 +256,17 @@ ShardedMaster::reconcileShard(std::size_t index,
 
         std::uint64_t sessions = plan.sessions.size();
         Cycles period = plan.period;
+        // The sequenced action may drain on whichever shard thread
+        // reaches the reorder buffer: link the handoff with a flow.
+        std::uint64_t commit_corr = obs::corrId(id, seq_of.at(id));
+        obs::flowBegin("commitlog.action", commit_corr);
         std::size_t applied = log_.commit(
             seq_of.at(id),
-            [this, &shard, req, completed, sessions, period,
+            [this, &shard, req, completed, sessions, period, commit_corr,
              report = std::move(report),
              fx = std::move(fx)]() mutable {
+                EXIST_SPAN("commitlog.action", commit_corr);
+                obs::flowEnd("commitlog.action", commit_corr);
                 if (!completed)
                     return;  // failed during planning: stays kFailed
                 if (journal_ != nullptr) {

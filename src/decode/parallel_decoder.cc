@@ -1,5 +1,6 @@
 #include "decode/parallel_decoder.h"
 
+#include "obs/trace_plane.h"
 #include "runtime/thread_pool.h"
 
 namespace exist {
@@ -30,6 +31,8 @@ ParallelDecoder::decodeViews(
 {
     std::vector<std::pair<CoreId, DecodedTrace>> out(views.size());
     auto one = [&](std::size_t i) {
+        EXIST_SPAN("decode.buffer",
+                   obs::corrId(views[i].core, views[i].size));
         out[i].first = views[i].core;
         out[i].second =
             reconstructor_.decode(views[i].data, views[i].size);

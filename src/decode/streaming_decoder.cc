@@ -1,5 +1,6 @@
 #include "decode/streaming_decoder.h"
 
+#include "obs/trace_plane.h"
 #include "runtime/thread_pool.h"
 #include "util/logging.h"
 
@@ -126,6 +127,7 @@ StreamingDecoder::publish(CoreId core, const std::uint8_t *data,
         // uncontended here but keeps the guarded-stream annotation
         // honest for every path.
         MutexLock lk(cs.mu);
+        EXIST_SPAN("decode.chunk", obs::corrId(core, cs.next_pub_seq++));
         cs.stream.append(data, static_cast<std::size_t>(n));
         return;
     }
@@ -136,6 +138,8 @@ StreamingDecoder::publish(CoreId core, const std::uint8_t *data,
         region.seq = cs.next_pub_seq++;
     }
     region.bytes.assign(data, data + n);
+    // Link the producer-side publish to whichever consumer applies it.
+    obs::flowBegin("decode.region", obs::corrId(core, region.seq));
     bool accepted = queue_.push(std::move(region));
     EXIST_ASSERT(accepted, "publish after finish");
 }
@@ -152,6 +156,10 @@ StreamingDecoder::consumerLoop()
         // arrivals wait in the stash for their predecessors.
         auto it = cs.stash.find(cs.next_apply_seq);
         while (it != cs.stash.end()) {
+            std::uint64_t chunk_corr =
+                obs::corrId(region.core, cs.next_apply_seq);
+            EXIST_SPAN("decode.chunk", chunk_corr);
+            obs::flowEnd("decode.region", chunk_corr);
             cs.stream.append(it->second.data(), it->second.size());
             cs.stash.erase(it);
             ++cs.next_apply_seq;
@@ -174,6 +182,7 @@ StreamingDecoder::finish()
     std::vector<std::pair<CoreId, DecodedTrace>> out(cores_.size());
     auto one = [&](std::size_t i) {
         CoreState &cs = *cores_[i];
+        EXIST_SPAN("decode.tail", obs::corrId(cs.core));
         // The consumers are joined, but take the core lock anyway:
         // stash/stream are guarded, and the uncontended acquire is
         // cheaper than an exemption from the analysis.

@@ -17,6 +17,9 @@ defaultHandler(const std::string &point)
     // destructors — only bytes already fsynced/flushed to the WAL
     // survive, which is exactly the guarantee recovery must meet.
     std::fprintf(stderr, "crash-point: dying at '%s'\n", point.c_str());
+    // Flight-recorder last words (hook installed by the obs plane):
+    // the per-thread event tails are the evidence of what led here.
+    invokeCrashDumpHook(stderr);
     std::fflush(stderr);
     std::_Exit(42);
 }

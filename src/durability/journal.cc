@@ -4,6 +4,7 @@
 
 #include "cluster/shard/plan.h"
 #include "durability/crash_point.h"
+#include "obs/trace_plane.h"
 #include "util/logging.h"
 
 namespace exist::durability {
@@ -107,6 +108,7 @@ Journal::maybeSnapshot(const std::function<ControlStateDump()> &dump,
     SnapshotState state;
     state.meta = meta_;
     state.barrier_lsn = wal_.nextLsn();
+    EXIST_SPAN("wal.snapshot", state.barrier_lsn);
     state.dump = dump();
     std::string error;
     if (!writeSnapshot(spec_.wal_dir, state, &error))

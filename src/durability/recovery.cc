@@ -5,6 +5,7 @@
 
 #include "cluster/crd.h"
 #include "cluster/shard/plan.h"
+#include "obs/trace_plane.h"
 #include "util/logging.h"
 
 namespace exist::durability {
@@ -26,6 +27,7 @@ recover(const std::string &dir, metrics::Registry *registry)
     RecoveredState &st = result.state;
     bool have_meta = false;
 
+    EXIST_SPAN("recovery.load", obs::corrId(dir.size()));
     SnapshotLoad snap = loadNewestSnapshot(dir);
     if (snap.found && !snap.ok) {
         // Snapshots exist but none validates: the WAL below their
@@ -45,6 +47,7 @@ recover(const std::string &dir, metrics::Registry *registry)
         have_meta = true;
     }
 
+    EXIST_SPAN("recovery.replay", from_lsn);
     Wal::ReplayResult replay = Wal::replay(dir, from_lsn);
     if (!replay.ok) {
         result.error = replay.error;

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "obs/trace_plane.h"
 #include "util/logging.h"
 
 namespace fs = std::filesystem;
@@ -430,6 +431,10 @@ Wal::append(WalRecord rec)
 {
     MutexLock lk(mu_);
     rec.lsn = next_lsn_;
+    // Covers encode + write + flush: the span length is the synchronous
+    // durability tax every control-plane mutation pays.
+    EXIST_SPAN("wal.append",
+               obs::corrId(rec.lsn, static_cast<std::uint64_t>(rec.type)));
     std::vector<std::uint8_t> payload = encodeRecord(rec);
     EXIST_ASSERT(payload.size() <= kMaxRecordBytes,
                  "wal: oversized record (%zu bytes)", payload.size());

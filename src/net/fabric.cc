@@ -4,9 +4,23 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/trace_plane.h"
 #include "util/logging.h"
 
 namespace exist::net {
+
+namespace {
+
+/** Sim node id as recorded in obs events (16-bit field; the master's
+ *  sentinel node collapses onto 0xffff, named "sim master" at export). */
+std::uint32_t
+obsNode(NodeId node)
+{
+    auto v = static_cast<std::uint64_t>(static_cast<std::int64_t>(node));
+    return v >= 0xffff ? 0xffffu : static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
 
 Fabric::Fabric(EventQueue *queue, const NetSpec &spec,
                std::uint64_t seed)
@@ -90,11 +104,18 @@ Fabric::send(NodeId src, NodeId dst, std::vector<std::uint8_t> frame)
     stats_.bytes_on_wire += frame.size();
     logEvent(queue_->now(), WireEvent::Kind::kSend, src, dst, frame_id,
              frame.size());
+    // Sim-clock telemetry: the corr id derives only from (fabric seed,
+    // link, frame counter), so traces of the same seed are identical.
+    const std::uint64_t obs_corr =
+        obs::corrId(seed_, linkSeed(0, src, dst), frame_id);
+    obs::simInstant("net.send", obs_corr, queue_->now(), obsNode(src),
+                    static_cast<std::uint32_t>(frame.size()));
 
     if (spec_.drop_rate > 0 && link.rng.bernoulli(spec_.drop_rate)) {
         stats_.frames_dropped += 1;
         logEvent(depart, WireEvent::Kind::kDrop, src, dst, frame_id,
                  frame.size());
+        obs::simInstant("net.drop", obs_corr, depart, obsNode(src));
         return;
     }
 
@@ -142,6 +163,15 @@ Fabric::scheduleDelivery(NodeId src, NodeId dst, Cycles depart,
                 cyclesToSeconds(arrive - depart) * 1e6);
             logEvent(arrive, WireEvent::Kind::kDeliver, src, dst,
                      frame_id, frame.size());
+            // Runs on the event loop: emission is lock-free by design
+            // (the analyzer's event-block check keeps it that way).
+            std::uint64_t obs_corr =
+                obs::corrId(seed_, linkSeed(0, src, dst), frame_id);
+            obs::simSpan("net.frame", obs_corr, depart, arrive - depart,
+                         obsNode(src));
+            obs::simInstant("net.deliver", obs_corr, arrive,
+                            obsNode(dst),
+                            static_cast<std::uint32_t>(frame.size()));
             if (dep.deliver)
                 dep.deliver(src, frame);
         });

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Chrome trace-event JSON export of the tracing rings, loadable by
+ * Perfetto (ui.perfetto.dev) and chrome://tracing.
+ *
+ * Mapping:
+ *  - real-clock events: pid 1 ("exist"), tid = ring index, ts =
+ *    microseconds since the earliest real event in the snapshot;
+ *  - sim-clock events: pid = 100 + sim node id ("sim node N"), tid =
+ *    emitting ring, ts = virtual microseconds (cycles / 250);
+ *  - kBegin/kEnd → "B"/"E" (unmatched ends dropped, unclosed begins
+ *    closed at the ring's last timestamp so the JSON always balances);
+ *  - kSimSpan → a complete "X" event carrying its duration;
+ *  - flow links → "s"/"f" pairs bound by correlation id;
+ *  - the category of every event is its name up to the first '.'.
+ *
+ * The exporter never writes files itself — callers (existctl, bench,
+ * tests) own the output path, keeping all file IO out of src/obs.
+ */
+#ifndef EXIST_OBS_CHROME_TRACE_H
+#define EXIST_OBS_CHROME_TRACE_H
+
+#include <string>
+
+namespace exist::obs {
+
+/** Serialize a snapshot of all rings as Chrome trace-event JSON. */
+std::string chromeTraceJson();
+
+}  // namespace exist::obs
+
+#endif  // EXIST_OBS_CHROME_TRACE_H

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * FlightRecorder: the last-N-events-per-thread view of the tracing
+ * rings, rendered as text for crash forensics.  There is no separate
+ * recording machinery — the per-thread rings of trace_plane.h *are*
+ * the flight recorder; this module only formats their tails.
+ *
+ * Dumps fire from three places: fatal/panic termination
+ * (util/logging.cc invokes the hook installed by the plane), the
+ * durability crash-point default handler (same hook, before _Exit),
+ * and `existctl dump-flight` for on-demand inspection.
+ */
+#ifndef EXIST_OBS_FLIGHT_RECORDER_H
+#define EXIST_OBS_FLIGHT_RECORDER_H
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+
+namespace exist::obs {
+
+/** Render the last `last_n` events of every thread ring as text. */
+std::string flightDumpText(std::size_t last_n = 64);
+
+/** Write flightDumpText() to `out` (crash paths pass stderr). */
+void flightDumpTo(std::FILE *out, std::size_t last_n = 64);
+
+}  // namespace exist::obs
+
+#endif  // EXIST_OBS_FLIGHT_RECORDER_H

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
+#include "obs/trace_plane.h"
 #include "util/logging.h"
 
 namespace exist {
@@ -62,6 +64,19 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::push(Task task)
 {
+    // Correlate the submit site with whichever worker eventually runs
+    // the task: a flow-begin here, a span + flow-end around execution.
+    std::uint64_t span_id =
+        obs::corrId(reinterpret_cast<std::uint64_t>(this),
+                    task_seq_.fetch_add(1, std::memory_order_relaxed));
+    obs::flowBegin("pool.task", span_id);
+    Task wrapped = [span_id, fn = std::move(task)]() {
+        EXIST_SPAN("pool.task", span_id);
+        obs::flowEnd("pool.task", span_id);
+        fn();
+    };
+    task = std::move(wrapped);
+
     std::size_t q;
     if (t_binding.pool == this) {
         q = t_binding.index;
@@ -134,6 +149,9 @@ void
 ThreadPool::workerLoop(std::size_t index)
 {
     t_binding = WorkerBinding{this, index};
+    char name[32];
+    std::snprintf(name, sizeof(name), "pool.worker.%zu", index);
+    obs::setThreadName(name);
     Task task;
     for (;;) {
         if (takeTask(index, task)) {
@@ -160,6 +178,7 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
 {
     if (begin >= end)
         return;
+    EXIST_SPAN("pool.parallel_for", obs::corrId(begin, end));
     std::size_t n = end - begin;
     if (size() <= 1 || n == 1) {
         for (std::size_t i = begin; i < end; ++i)

@@ -123,6 +123,7 @@ class ThreadPool
     // Telemetry (relaxed: trend counters, not synchronization).
     std::atomic<std::uint64_t> tasks_run_{0};
     std::atomic<std::uint64_t> steals_{0};
+    std::atomic<std::uint64_t> task_seq_{0};  ///< pool.task span ids
 };
 
 }  // namespace exist

@@ -25,7 +25,7 @@
  *
  * The lock hierarchy (acquire downward only — see DESIGN.md §8):
  *   pool < decode queue < decode core < agent queue < commit log
- *        < ingest < shard < wal < store < metrics < leaf
+ *        < ingest < shard < wal < store < metrics < obs < leaf
  */
 #ifndef EXIST_UTIL_LOCK_ORDER_H
 #define EXIST_UTIL_LOCK_ORDER_H
@@ -56,6 +56,9 @@ enum class LockRank : int {
                        ///< before any store/metrics acquire)
     kStore = 50,       ///< striped OSS/ODPS stripe locks
     kMetrics = 60,     ///< metrics registry stripe locks
+    kObs = 70,         ///< obs collector dump lock (trace snapshot /
+                       ///< flight dump serialization; the span *emit*
+                       ///< path is lock-free and never takes it)
     kLeaf = 100,       ///< caches etc. held across no other acquire
 };
 

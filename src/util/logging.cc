@@ -1,11 +1,37 @@
 #include "util/logging.h"
 
+#include <chrono>
 #include <cstdarg>
+
+#include "util/thread_annotations.h"
 
 namespace exist {
 
 namespace {
+
 int g_verbosity = 1;
+CrashDumpHook g_crash_dump_hook = nullptr;
+
+/** Leaf-ranked sink lock: one fully formatted line per acquisition, so
+ *  concurrent writers never interleave mid-line. Never held across any
+ *  other acquire. */
+Mutex &
+sinkMutex()
+{
+    static Mutex mu(lockorder::LockRank::kLeaf, "log.sink");
+    return mu;
+}
+
+/** Monotonic milliseconds since the first log line of the process. */
+double
+monotonicMs()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point base = clock::now();
+    return std::chrono::duration<double, std::milli>(clock::now() - base)
+        .count();
+}
+
 }  // namespace
 
 int
@@ -18,6 +44,21 @@ void
 setLogVerbosity(int level)
 {
     g_verbosity = level;
+}
+
+CrashDumpHook
+setCrashDumpHook(CrashDumpHook hook)
+{
+    CrashDumpHook prev = g_crash_dump_hook;
+    g_crash_dump_hook = hook;
+    return prev;
+}
+
+void
+invokeCrashDumpHook(std::FILE *out)
+{
+    if (g_crash_dump_hook)
+        g_crash_dump_hook(out);
 }
 
 namespace detail {
@@ -41,17 +82,30 @@ format(const char *fmt, ...)
 }
 
 void
+sinkLine(const char *level, const char *component, const std::string &msg)
+{
+    double ms = monotonicMs();
+    MutexLock lock(sinkMutex());
+    std::fprintf(stderr, "[%10.3f] %-5s %s | %s\n", ms, level, component,
+                 msg.c_str());
+}
+
+void
 message(const char *kind, int min_level, const std::string &msg)
 {
     if (g_verbosity >= min_level)
-        std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+        sinkLine(kind, "exist", msg);
 }
 
 void
 terminate(const char *kind, const std::string &msg, const char *file,
           int line, bool core_dump)
 {
-    std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(), file, line);
+    sinkLine(kind, "exist",
+             format("%s (%s:%d)", msg.c_str(), file, line));
+    // Last words: the flight recorder's view of every thread's recent
+    // events, when the obs plane is linked in.
+    invokeCrashDumpHook(stderr);
     if (core_dump)
         std::abort();
     std::exit(1);

@@ -1,8 +1,27 @@
 /**
  * @file
- * Minimal logging and error-termination helpers, following the gem5
+ * Structured logging and error-termination helpers, following the gem5
  * fatal/panic idiom: fatal() is for user errors (bad configuration),
  * panic() is for internal invariant violations (a bug in this library).
+ *
+ * Every line goes through a single serialized sink, so concurrent
+ * writers (pool workers, agent callbacks, shard reconcilers) can never
+ * interleave mid-line, and carries a structured prefix:
+ *
+ *   [   123.456] warn  agent | resend budget exhausted
+ *
+ * — a monotonic millisecond timestamp since process start, the level,
+ * and the emitting component.  All logging is stderr-only: stdout is
+ * reserved for report bytes and stays byte-comparable across runs.
+ *
+ * Levels map onto the existing verbosity knob: kError always prints,
+ * kWarn and kNote at verbosity >= 1 (kNote is operator telemetry —
+ * progress lines from existctl and the collection plane), kInfo at
+ * >= 2, kDebug at >= 3.
+ *
+ * Fatal/panic termination additionally invokes the crash-dump hook if
+ * one is installed; src/obs wires the flight recorder in through it so
+ * every fatal error is followed by the last events of every thread.
  */
 #ifndef EXIST_UTIL_LOGGING_H
 #define EXIST_UTIL_LOGGING_H
@@ -19,6 +38,26 @@ int logVerbosity();
 /** Set global log verbosity (0 = quiet, 1 = warn, 2 = inform). */
 void setLogVerbosity(int level);
 
+/** Severity of a log line (selects the prefix and the gate). */
+enum class LogLevel {
+    kError, ///< always printed
+    kWarn,  ///< verbosity >= 1
+    kNote,  ///< operator telemetry, verbosity >= 1
+    kInfo,  ///< verbosity >= 2
+    kDebug, ///< verbosity >= 3
+};
+
+/**
+ * Hook invoked (with stderr) just before fatal/panic termination and
+ * from the durability crash-point handler; returns the previous hook.
+ * Installed by the obs plane to dump the flight recorder.
+ */
+using CrashDumpHook = void (*)(std::FILE *);
+CrashDumpHook setCrashDumpHook(CrashDumpHook hook);
+
+/** Invoke the installed crash-dump hook, if any (crash paths). */
+void invokeCrashDumpHook(std::FILE *out);
+
 namespace detail {
 
 [[noreturn]] void terminate(const char *kind, const std::string &msg,
@@ -26,10 +65,63 @@ namespace detail {
 
 void message(const char *kind, int min_level, const std::string &msg);
 
+/** Format one prefixed line and write it atomically to stderr. */
+void sinkLine(const char *level, const char *component,
+              const std::string &msg);
+
 std::string format(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 }  // namespace detail
+
+/** Minimum verbosity at which `level` prints (0 = always). */
+constexpr int
+logLevelRank(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kError: return 0;
+      case LogLevel::kWarn:
+      case LogLevel::kNote: return 1;
+      case LogLevel::kInfo: return 2;
+      case LogLevel::kDebug: return 3;
+    }
+    return 0;
+}
+
+/** Display name of `level` in the line prefix. */
+constexpr const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kError: return "error";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kNote: return "note";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kDebug: return "debug";
+    }
+    return "?";
+}
+
+/** Structured log line from `component` at `level`. */
+template <typename... Args>
+void
+logLine(LogLevel level, const char *component, const char *fmt, Args... args)
+{
+    int rank = logLevelRank(level);
+    if (rank != 0 && logVerbosity() < rank)
+        return;
+    detail::sinkLine(logLevelName(level), component,
+                     detail::format(fmt, args...));
+}
+
+/** Operator telemetry (progress/config lines); printed at verbosity
+ *  >= 1, which is the default — the replacement for bare fprintf. */
+template <typename... Args>
+void
+note(const char *component, const char *fmt, Args... args)
+{
+    logLine(LogLevel::kNote, component, fmt, args...);
+}
 
 /** Informational message for the user; printed at verbosity >= 2. */
 template <typename... Args>

@@ -123,6 +123,40 @@ TEST(MetricsTest, ToJsonRendersAllKinds)
     EXPECT_NE(json.find("\"max\":100"), std::string::npos);
 }
 
+TEST(MetricsTest, ToJsonByteStableAcrossInsertionOrder)
+{
+    // The dump (and hence `existctl metrics` stdout) must not depend
+    // on registration order or stripe layout: two registries fed the
+    // same metrics in adversarially different orders render the same
+    // bytes, sorted by scoped name within each section.
+    const char *names[] = {"zeta.ops",   "shard.0.reconciles",
+                           "alpha.ops",  "shard.10.reconciles",
+                           "mid.bytes",  "shard.2.reconciles"};
+    metrics::Registry fwd;
+    for (const char *n : names) {
+        fwd.counter(n).add(7);
+        fwd.gauge(std::string(n) + ".g").set(-3);
+        fwd.histogram(std::string(n) + ".h").record(64);
+    }
+    metrics::Registry rev;
+    for (int i = 5; i >= 0; --i) {
+        rev.histogram(std::string(names[i]) + ".h").record(64);
+        rev.gauge(std::string(names[i]) + ".g").set(-3);
+        rev.counter(names[i]).add(7);
+    }
+    EXPECT_EQ(fwd.toJson(), rev.toJson());
+
+    // samples() obeys the same order: lexicographic by scoped name
+    // (so "shard.10" sorts before "shard.2" — byte order, pinned).
+    std::vector<metrics::Registry::Sample> s = fwd.samples();
+    ASSERT_EQ(s.size(), 18u);
+    for (std::size_t i = 1; i < s.size(); ++i)
+        EXPECT_LE(s[i - 1].name, s[i].name);
+    EXPECT_EQ(s.front().name, "alpha.ops");
+    EXPECT_EQ(s.front().type, std::string("counter"));
+    EXPECT_EQ(s.front().value, "7");
+}
+
 TEST(MetricsTest, ToJsonEmptyRegistry)
 {
     metrics::Registry registry;

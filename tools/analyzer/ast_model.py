@@ -33,6 +33,7 @@ LOCK_RANKS = {
     "kWal": 45,
     "kStore": 50,
     "kMetrics": 60,
+    "kObs": 70,
     "kLeaf": 100,
 }
 RANK_NAMES = {v: k for k, v in LOCK_RANKS.items()}

@@ -22,6 +22,24 @@ is allowed to synchronize, it is not allowed to wait on something
 unbounded. Deliberate exceptions (the WAL's flush-on-commit
 durability contract) are allowlisted with justifications rather than
 special-cased here.
+
+The pass also guards the self-tracing plane's emit side (DESIGN.md
+§14): a second BFS roots at the span-emission entry points defined
+under src/obs/ (begin/end/instant/flow*/sim* and the Span RAII
+bodies), which run inline on every instrumented thread — including
+inside EventQueue callbacks and CommitLog actions — so the bar is
+stricter than for the event loop itself:
+
+  span-blocking-call   any blocking primitive reachable from a span
+                       emission entry point
+  span-hot-path-lock   any mutex acquisition (even short-hold, even
+                       leaf-rank) reachable from span emission — the
+                       hot path must stay wait-free or a collector
+                       holding the lock stalls every instrumented
+                       thread at once
+
+The read side (snapshot/export/dump under the kObs collector lock) is
+not rooted: collectors are allowed to synchronize with each other.
 """
 
 from __future__ import annotations
@@ -39,6 +57,16 @@ KIND_DESC = {
     "flush": "file flush",
     "join": "thread join",
     "future-wait": "future/timed wait",
+}
+
+# Span-emission entry points under src/obs/: everything that runs
+# inline on an instrumented thread when a macro fires.  The read-side
+# collectors (snapshot/chromeTraceJson/flightDump*) are deliberately
+# absent — they hold the kObs lock and may block each other.
+SPAN_EMIT_TAILS = {
+    "begin", "end", "instant", "flowBegin", "flowEnd",
+    "simInstant", "simSpan", "simFlowBegin", "simFlowEnd",
+    "emitEvent", "setThreadName", "Span", "~Span",
 }
 
 
@@ -79,16 +107,56 @@ def _path_str(path: tuple) -> str:
     return " -> ".join(tails)
 
 
+def _span_hot_path_findings(index) -> list[Finding]:
+    roots = [q for q, f in index.functions.items()
+             if f.file.startswith("src/obs/")
+             and _tail(q) in SPAN_EMIT_TAILS]
+    if not roots:
+        return []
+    findings: list[Finding] = []
+    seen: set[tuple] = set()
+    for q, path in sorted(index.reachable_from(roots).items()):
+        f = index.functions[q]
+        for b in f.blocks:
+            key = (f.file, b.line, "span-blocking-call")
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                check="event-block", rule="span-blocking-call",
+                file=f.file, line=b.line,
+                message=f"{KIND_DESC.get(b.kind, b.kind)} "
+                        f"('{b.detail}') is reachable from span "
+                        f"emission [{_path_str(path)}]",
+                function=q))
+        for op in f.lock_ops:
+            if op.op not in ("acquire", "scoped"):
+                continue
+            key = (f.file, op.line, "span-hot-path-lock")
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                check="event-block", rule="span-hot-path-lock",
+                file=f.file, line=op.line,
+                message=f"acquires '{op.target}' on the span-emission "
+                        f"hot path, which must stay wait-free "
+                        f"[{_path_str(path)}]",
+                function=q))
+    return findings
+
+
 def run(index) -> list[Finding]:
+    findings_obs = _span_hot_path_findings(index)
     roots = [q for q, f in index.functions.items()
              if f.context in (CTX_EVENT, CTX_COMMIT)]
     if not roots:
-        return []
+        return findings_obs
     reach = index.reachable_from(roots)
     slow = _slow_mutexes(index)
     leaf = LOCK_RANKS["kLeaf"]
 
-    findings: list[Finding] = []
+    findings: list[Finding] = list(findings_obs)
     seen: set[tuple] = set()
     for q, path in sorted(reach.items()):
         f = index.functions[q]

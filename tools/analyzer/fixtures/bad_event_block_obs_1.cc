@@ -1,0 +1,28 @@
+// analyzer-virtual-path: src/obs/fixture_locked_emit.cc
+// A span-emission hot path that synchronizes with a mutex and sleeps
+// while registering: every instrumented thread — including event-loop
+// callbacks — would stall behind the collector holding the lock.
+namespace exist {
+namespace obs {
+
+class LockedPlane {
+ public:
+  void instant(const char *name, unsigned long corr) {
+    MutexLock lk(ring_mu_);
+    registerSlow();
+    last_name_ = name;  // lint-allow: unguarded-member
+    last_corr_ = corr;  // lint-allow: unguarded-member
+  }
+
+  void registerSlow() {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+ private:
+  Mutex ring_mu_{LockRank::kObs, "fixture.obs.ring"};
+  const char *last_name_ = nullptr;
+  unsigned long last_corr_ = 0;
+};
+
+}  // namespace obs
+}  // namespace exist

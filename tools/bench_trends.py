@@ -13,6 +13,7 @@ Sets:
     cluster  reconcile_throughput                -> BENCH_cluster.json
     net      collect_throughput                  -> BENCH_net.json
     durability  recovery_time                    -> BENCH_durability.json
+    observability  selftrace_overhead            -> BENCH_observability.json
 
 micro_bench is a google-benchmark binary, not a "JSON "-line one: it is
 run with --benchmark_format=json filtered to the TNT-memo sweep, and
@@ -39,6 +40,7 @@ BENCH_SETS = {
     "cluster": ["reconcile_throughput"],
     "net": ["collect_throughput"],
     "durability": ["recovery_time"],
+    "observability": ["selftrace_overhead"],
 }
 
 # Binaries in GOOGLE_BENCHMARK_BENCHES speak google-benchmark's
@@ -174,6 +176,21 @@ def summarize(records):
             "best_speedup_vs_serial": best.get("speedup"),
             "p99_latency_us_at_best": best.get("p99_latency_us"),
             "all_identical": all(r.get("identical") for r in rec),
+        }
+    st = [r for r in records
+          if r.get("bench") == "selftrace_overhead"
+          and r.get("mode") == "decode"]
+    if st:
+        worst = max(st, key=lambda r: r.get("overhead_pct", 0.0))
+        emit = [r for r in records
+                if r.get("bench") == "selftrace_overhead"
+                and r.get("mode") == "emit"]
+        summary["selftrace_overhead"] = {
+            "worst_overhead_pct": worst.get("overhead_pct"),
+            "gate_pct": worst.get("gate_pct"),
+            "all_pass": all(r.get("pass") for r in st),
+            "emit_ns_per_event":
+                emit[0].get("ns_per_event") if emit else None,
         }
     col = [r for r in records
            if r.get("bench") == "collect_throughput"]

@@ -43,6 +43,17 @@ are the usual way that invariant rots, so this lint bans them outright:
                        recovery cannot see and reports must never
                        depend on.
 
+  obs-read-back        obs::snapshot()/chromeTraceJson()/
+                       flightDumpText()/flightDumpTo() and the obs
+                       counters outside src/obs/.  The self-tracing
+                       plane is write-only from product code: span
+                       emission must never feed report bytes, or the
+                       spans-on == spans-off byte-identity guarantee
+                       (and with it report determinism) silently
+                       breaks.  Read-side consumers live in tools/,
+                       bench/, and tests/, which are not report
+                       producers.
+
 Suppression, narrowest first:
   * an inline `// lint-allow: <rule>` comment on the offending line;
   * a `path:rule` line in tools/analysis_allow.txt (shared with
@@ -104,6 +115,16 @@ FILE_IO_HOMES = (
     "src/cluster/storage",
 )
 
+# The self-observability plane (src/obs) is write-only telemetry:
+# report-producing code may emit spans but never read the rings back,
+# or span timing could leak into report bytes and break the
+# spans-on == spans-off byte identity. Only the plane itself may call
+# its read-side API; CLI/bench/test surfaces live outside src/ and are
+# not linted.
+OBS_READ_HOMES = (
+    "src/obs/",
+)
+
 RULES = [
     (
         "raw-rand",
@@ -147,6 +168,16 @@ RULES = [
             r"|\bstd::o?fstream\b"
         ),
         None,  # applies everywhere under src/ except FILE_IO_HOMES
+    ),
+    (
+        "obs-read-back",
+        re.compile(
+            r"\b(?:obs::)?(?:chromeTraceJson|flightDumpText|"
+            r"flightDumpTo)\s*\("
+            r"|\bobs::(?:snapshot|eventsRecorded|threadsRegistered|"
+            r"threadsDropped)\s*\("
+        ),
+        None,  # applies everywhere under src/ except OBS_READ_HOMES
     ),
     (
         "raw-locking",
@@ -259,6 +290,10 @@ def lint_file(path, rel, allowlist):
             if rule == "raw-locking" and rel in RAW_LOCKING_WRAPPERS:
                 continue
             if rule == "raw-file-io" and rel.startswith(FILE_IO_HOMES):
+                continue
+            if rule == "obs-read-back" and rel.startswith(
+                OBS_READ_HOMES
+            ):
                 continue
             if dirs is not None and not rel.startswith(dirs):
                 continue

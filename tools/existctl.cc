@@ -61,6 +61,24 @@
  *       flight, and print the reports — byte-identical on stdout to
  *       the crash-free trace run. Recovery telemetry goes to stderr.
  *
+ *   existctl top [<manifest>...] [--shards N] [--threads N]
+ *                [--iterations N] [--interval-ms M]
+ *       Live metrics view: reconcile the optional manifests on the
+ *       demo cluster, then render every registry metric as one sorted
+ *       table (name, type, value). --iterations N redraws the table N
+ *       times at --interval-ms spacing, like a primitive `top`.
+ *
+ *   existctl dump-flight [<manifest>...] [--threads N]
+ *       Reconcile the optional manifests (to generate span traffic),
+ *       then dump the self-observability flight recorder — the last
+ *       events of every thread — to stdout. This is the same dump a
+ *       crash point or fatal error prints as its last words.
+ *
+ * Any `trace` invocation also takes --self-trace FILE: on exit the
+ * internal span rings (DESIGN.md §14) are exported as Chrome
+ * trace-event JSON to FILE, loadable in Perfetto / chrome://tracing.
+ * stdout is unaffected — the observability plane is write-only.
+ *
  * --threads N sets the decode/reconcile parallelism (default: hardware
  * concurrency; --threads 1 is the fully serial path). The output is
  * bit-identical at any thread or shard count — they only change wall
@@ -70,6 +88,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/behavior_report.h"
@@ -84,11 +103,19 @@
 #include "durability/crash_point.h"
 #include "durability/journal.h"
 #include "durability/recovery.h"
+#include "obs/chrome_trace.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace_plane.h"
+#include "util/logging.h"
 #include "workload/app_profile.h"
 
 using namespace exist;
 
 namespace {
+
+/** --self-trace destination; written from main() after the command
+ *  returns so every instrumented path has finished emitting. */
+std::string g_self_trace;
 
 int
 usage()
@@ -108,7 +135,12 @@ usage()
         "       existctl trace <app> --wal DIR\n"
         "                      [--snapshot-interval K] [--crash-at P]\n"
         "                      [--shards N] ...\n"
-        "       existctl recover DIR [--threads N]\n",
+        "       existctl recover DIR [--threads N]\n"
+        "       existctl top [<manifest>...] [--shards N]\n"
+        "                      [--threads N] [--iterations N]\n"
+        "                      [--interval-ms M]\n"
+        "       existctl dump-flight [<manifest>...] [--threads N]\n"
+        "       (any trace form also takes --self-trace FILE)\n",
         stderr);
     return 2;
 }
@@ -196,10 +228,9 @@ traceSharded(const std::string &app, double period_ms,
     manifest += netManifest(net);
     // The shard count goes to stderr with the other telemetry so
     // stdout is byte-comparable across shard counts.
-    std::fprintf(stderr,
-                 "tracing '%s' across %d control-plane shard%s...\n",
-                 app.c_str(), master.shardCount(),
-                 master.shardCount() == 1 ? "" : "s");
+    note("existctl", "tracing '%s' across %d control-plane shard%s...",
+         app.c_str(), master.shardCount(),
+         master.shardCount() == 1 ? "" : "s");
 
     std::vector<std::uint64_t> ids;
     for (int i = 0; i < 4; ++i)
@@ -214,14 +245,13 @@ traceSharded(const std::string &app, double period_ms,
     // Wall-clock telemetry, so stderr: stdout stays byte-comparable
     // across shard counts.
     metrics::Registry &reg = master.metrics();
-    std::fprintf(stderr,
-                 "reconciled %zu requests in %.1f ms "
-                 "(%.1f req/s, p99 %llu us, %llu sessions)\n",
-                 ids.size(), wall_s * 1e3, ids.size() / wall_s,
-                 (unsigned long long)reg
-                     .histogram("reconcile.latency_us")
-                     .percentile(0.99),
-                 (unsigned long long)master.sessionsRun());
+    note("existctl",
+         "reconciled %zu requests in %.1f ms "
+         "(%.1f req/s, p99 %llu us, %llu sessions)",
+         ids.size(), wall_s * 1e3, ids.size() / wall_s,
+         (unsigned long long)reg.histogram("reconcile.latency_us")
+             .percentile(0.99),
+         (unsigned long long)master.sessionsRun());
     return 0;
 }
 
@@ -287,14 +317,13 @@ traceWal(const std::string &app, double period_ms,
     manifest += netManifest(net);
     manifest += " wal=" + wal_dir;
 
-    std::fprintf(stderr,
-                 "tracing '%s' under WAL %s (snapshot interval %llu, "
-                 "%d shard%s)%s%s\n",
-                 app.c_str(), wal_dir.c_str(),
-                 (unsigned long long)snapshot_interval, shards,
-                 shards == 1 ? "" : "s",
-                 crash_at.empty() ? "" : ", crash at ",
-                 crash_at.c_str());
+    note("existctl",
+         "tracing '%s' under WAL %s (snapshot interval %llu, "
+         "%d shard%s)%s%s",
+         app.c_str(), wal_dir.c_str(),
+         (unsigned long long)snapshot_interval, shards,
+         shards == 1 ? "" : "s",
+         crash_at.empty() ? "" : ", crash at ", crash_at.c_str());
     if (!crash_at.empty())
         durability::crashpoint::arm(crash_at);
 
@@ -325,19 +354,19 @@ cmdRecover(int argc, char **argv)
     durability::RecoveryResult rec =
         durability::recover(dir, &metrics::Registry::global());
     if (!rec.ok) {
-        std::fprintf(stderr, "recovery failed: %s\n",
-                     rec.error.c_str());
+        logLine(LogLevel::kError, "existctl", "recovery failed: %s",
+                rec.error.c_str());
         return 1;
     }
     const durability::RecoveredState &st = rec.state;
-    std::fprintf(stderr,
-                 "recovered %llu WAL records (%.1f KB)%s, "
-                 "%llu publishes replayed, %llu requests to re-plan\n",
-                 (unsigned long long)st.telemetry.wal_records,
-                 st.telemetry.wal_bytes / 1024.0,
-                 st.telemetry.snapshot_used ? " + snapshot" : "",
-                 (unsigned long long)st.telemetry.replayed_publishes,
-                 (unsigned long long)st.telemetry.pending_requests);
+    note("existctl",
+         "recovered %llu WAL records (%.1f KB)%s, "
+         "%llu publishes replayed, %llu requests to re-plan",
+         (unsigned long long)st.telemetry.wal_records,
+         st.telemetry.wal_bytes / 1024.0,
+         st.telemetry.snapshot_used ? " + snapshot" : "",
+         (unsigned long long)st.telemetry.replayed_publishes,
+         (unsigned long long)st.telemetry.pending_requests);
 
     ClusterConfig cc;
     cc.num_nodes = st.meta.num_nodes;
@@ -445,6 +474,8 @@ cmdTrace(int argc, char **argv)
             snapshot_interval = std::strtoull(next(), nullptr, 10);
         else if (arg == "--crash-at")
             crash_at = next();
+        else if (arg == "--self-trace")
+            g_self_trace = next();
         else
             return usage();
     }
@@ -486,17 +517,17 @@ cmdTrace(int argc, char **argv)
         CollectionOutcome co = collectSessionResult(
             r, net, collectSeed(spec.seed, 0), app,
             &metrics::Registry::global());
-        std::fprintf(stderr,
-                     "collection plane: %llu batches (+%llu "
-                     "retransmits), %llu acks, %llu dropped frames, "
-                     "%.1f KB on wire, %s\n",
-                     (unsigned long long)co.agents.batches_sent,
-                     (unsigned long long)co.agents.retransmits,
-                     (unsigned long long)co.ingest.acks_sent,
-                     (unsigned long long)co.fabric.frames_dropped,
-                     co.fabric.bytes_on_wire / 1024.0,
-                     co.degraded != 0 ? "DEGRADED (summary only)"
-                                      : "payload intact");
+        note("existctl",
+             "collection plane: %llu batches (+%llu "
+             "retransmits), %llu acks, %llu dropped frames, "
+             "%.1f KB on wire, %s",
+             (unsigned long long)co.agents.batches_sent,
+             (unsigned long long)co.agents.retransmits,
+             (unsigned long long)co.ingest.acks_sent,
+             (unsigned long long)co.fabric.frames_dropped,
+             co.fabric.bytes_on_wire / 1024.0,
+             co.degraded != 0 ? "DEGRADED (summary only)"
+                              : "payload intact");
     }
     const AppResult &a = r.at(app);
 
@@ -521,9 +552,8 @@ cmdTrace(int argc, char **argv)
     table.print();
     // Wall-clock, so stderr: stdout stays byte-comparable across
     // thread counts and decode modes.
-    std::fprintf(stderr, "report ready %.2f ms after trace end "
-                 "(%s decode)\n", r.report_latency_s * 1e3,
-                 r.streamed ? "streaming" : "batch");
+    note("existctl", "report ready %.2f ms after trace end (%s decode)",
+         r.report_latency_s * 1e3, r.streamed ? "streaming" : "batch");
 
     if (report && !r.raw_traces.empty()) {
         auto binary = Testbed::binaryForApp(app);
@@ -578,6 +608,30 @@ cmdCluster(int argc, char **argv)
     return 0;
 }
 
+/** Reconcile `manifests` on the demo cluster through a ShardedMaster
+ *  recording into the global registry (metrics/top/dump-flight share
+ *  this to put live traffic behind their views). Returns the shard
+ *  count actually used. */
+int
+reconcileDemoManifests(const std::vector<const char *> &manifests,
+                       int shards, int threads)
+{
+    ClusterConfig cc;
+    cc.num_nodes = 10;
+    cc.cores_per_node = 6;
+    Cluster cluster(cc);
+    cluster.deploy("Search1", 8);
+    cluster.deploy("Search2", 6);
+    cluster.deploy("Cache", 6);
+    cluster.deploy("Pred", 4);
+    cluster.deploy("Agent", 10);
+    ShardedMaster master(&cluster, {}, shards, threads);
+    for (const char *manifest : manifests)
+        master.apply(manifest);
+    master.reconcile();
+    return master.shardCount();
+}
+
 int
 cmdMetrics(int argc, char **argv)
 {
@@ -602,33 +656,108 @@ cmdMetrics(int argc, char **argv)
     }
 
     if (!manifests.empty()) {
-        // Reconcile the manifests on the demo cluster through a
-        // ShardedMaster recording into the global registry, so the
-        // dump shows a live control plane.
-        ClusterConfig cc;
-        cc.num_nodes = 10;
-        cc.cores_per_node = 6;
-        Cluster cluster(cc);
-        cluster.deploy("Search1", 8);
-        cluster.deploy("Search2", 6);
-        cluster.deploy("Cache", 6);
-        cluster.deploy("Pred", 4);
-        cluster.deploy("Agent", 10);
-        ShardedMaster master(&cluster, {}, shards, threads);
-        for (const char *manifest : manifests)
-            master.apply(manifest);
-        master.reconcile();
-        std::fprintf(stderr, "reconciled %zu requests on %d shards\n",
-                     manifests.size(), master.shardCount());
+        int used = reconcileDemoManifests(manifests, shards, threads);
+        note("existctl", "reconciled %zu requests on %d shards",
+             manifests.size(), used);
     }
     std::printf("%s\n", metrics::Registry::global().toJson().c_str());
     return 0;
 }
 
-}  // namespace
+/** `top`: the metrics registry as one sorted table, optionally
+ *  redrawn N times — a poor man's `top` over the control plane. */
+int
+cmdTop(int argc, char **argv)
+{
+    int threads = 0;
+    int shards = 0;
+    int iterations = 1;
+    int interval_ms = 500;
+    std::vector<const char *> manifests;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--threads")
+            threads = std::atoi(next());
+        else if (arg == "--shards")
+            shards = std::atoi(next());
+        else if (arg == "--iterations")
+            iterations = std::atoi(next());
+        else if (arg == "--interval-ms")
+            interval_ms = std::atoi(next());
+        else
+            manifests.push_back(argv[i]);
+    }
+    if (!manifests.empty()) {
+        int used = reconcileDemoManifests(manifests, shards, threads);
+        note("existctl", "reconciled %zu requests on %d shards",
+             manifests.size(), used);
+    }
+
+    metrics::Registry &reg = metrics::Registry::global();
+    for (int it = 0; it < iterations; ++it) {
+        if (it > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(interval_ms));
+            std::printf("\n");
+        }
+        TableWriter table({"Metric", "Type", "Value"});
+        for (const metrics::Registry::Sample &s : reg.samples())
+            table.row({s.name, s.type, s.value});
+        table.print();
+        // The observability plane's own health, as telemetry.
+        note("existctl",
+             "obs: %llu span events across %llu threads "
+             "(%llu dropped)",
+             (unsigned long long)obs::eventsRecorded(),
+             (unsigned long long)obs::threadsRegistered(),
+             (unsigned long long)obs::threadsDropped());
+    }
+    return 0;
+}
+
+/** `dump-flight`: the flight recorder's last-events view on demand —
+ *  the same text a crash point or fatal error prints as last words. */
+int
+cmdDumpFlight(int argc, char **argv)
+{
+    int threads = 0;
+    int shards = 0;
+    std::vector<const char *> manifests;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 ||
+            std::strcmp(argv[i], "--shards") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             argv[i]);
+                return 2;
+            }
+            (std::strcmp(argv[i], "--shards") == 0 ? shards
+                                                   : threads) =
+                std::atoi(argv[i + 1]);
+            ++i;
+        } else {
+            manifests.push_back(argv[i]);
+        }
+    }
+    if (!manifests.empty()) {
+        int used = reconcileDemoManifests(manifests, shards, threads);
+        note("existctl", "reconciled %zu requests on %d shards",
+             manifests.size(), used);
+    }
+    std::fputs(obs::flightDumpText(64).c_str(), stdout);
+    return 0;
+}
 
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
@@ -643,5 +772,44 @@ main(int argc, char **argv)
         return cmdMetrics(argc - 2, argv + 2);
     if (cmd == "recover")
         return cmdRecover(argc - 2, argv + 2);
+    if (cmd == "top")
+        return cmdTop(argc - 2, argv + 2);
+    if (cmd == "dump-flight")
+        return cmdDumpFlight(argc - 2, argv + 2);
     return usage();
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    obs::setThreadName("main");
+    int rc;
+    {
+        // Scoped so the top-level span closes before export below.
+        EXIST_SPAN("existctl.run",
+                   obs::corrId(static_cast<std::uint64_t>(argc)));
+        rc = run(argc, argv);
+    }
+    if (!g_self_trace.empty()) {
+        // File IO lives here, not in src/obs (raw-file-io lint).
+        std::string json = obs::chromeTraceJson();
+        std::FILE *f = std::fopen(g_self_trace.c_str(), "wb");
+        if (f == nullptr) {
+            logLine(LogLevel::kError, "existctl",
+                    "cannot write self-trace %s", g_self_trace.c_str());
+            return rc != 0 ? rc : 1;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        note("existctl",
+             "self-trace: %llu events from %llu threads "
+             "(%llu dropped) -> %s (%zu bytes)",
+             (unsigned long long)obs::eventsRecorded(),
+             (unsigned long long)obs::threadsRegistered(),
+             (unsigned long long)obs::threadsDropped(),
+             g_self_trace.c_str(), json.size());
+    }
+    return rc;
 }
